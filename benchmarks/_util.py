@@ -1,0 +1,56 @@
+"""Shared settings and helpers for the figure-regeneration benchmarks.
+
+Each ``bench_figXX`` module regenerates one paper figure's series,
+asserts the paper's qualitative shape (who wins, roughly by how much,
+where crossovers fall), and prints the regenerated rows so they can be
+read next to the paper.
+
+``REPRO_BENCH_HORIZON_S`` scales the simulated horizon (default 400 000
+simulated seconds per run; the paper used 10 000 000 — shapes are stable
+well below that).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.experiments.sweeps import CurvePoint
+
+#: Simulated seconds per run in benchmark mode.
+HORIZON_S = float(os.environ.get("REPRO_BENCH_HORIZON_S", "400000"))
+
+#: Queue lengths traced for parametric curves (paper: 20..140 step 20).
+QUEUES = (20, 60, 100, 140)
+
+
+def mean_throughput(points: List[CurvePoint]) -> float:
+    """Average throughput across a curve's plotted points."""
+    return sum(point.throughput_kb_s for point in points) / len(points)
+
+
+def mean_delay(points: List[CurvePoint]) -> float:
+    """Average mean-response-time across a curve's plotted points."""
+    return sum(point.mean_response_s for point in points) / len(points)
+
+
+def at_queue(points: List[CurvePoint], queue_length: int) -> CurvePoint:
+    """The curve point traced at ``queue_length``."""
+    for point in points:
+        if point.intensity == queue_length:
+            return point
+    raise KeyError(f"no point at queue length {queue_length}")
+
+
+def show(capsys, data) -> None:
+    """Print a regenerated figure even under pytest output capture."""
+    from repro.report import format_figure
+
+    with capsys.disabled():
+        print()
+        print(format_figure(data))
+
+
+def regenerate(benchmark, generator, **kwargs):
+    """Run ``generator`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(lambda: generator(**kwargs), rounds=1, iterations=1)

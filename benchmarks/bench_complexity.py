@@ -1,0 +1,86 @@
+"""Section 3.3: measured scaling of the envelope major rescheduler.
+
+The paper states the major rescheduler runs in O(n^2 * t^2) time for n
+requests and t tapes.  This benchmark measures wall-clock scaling of
+the envelope computation in n (at the jukebox's t=10) and sanity-checks
+that growth stays polynomial: quadrupling n should cost well under the
+64x a cubic algorithm would show.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import EnvelopeComputer
+from repro.layout import PlacementSpec, Layout, build_catalog
+from repro.tape import EXB_8505XL
+from repro.workload import HotColdSkew, RequestFactory
+
+TAPES = 10
+
+
+def make_requests(catalog, count, seed):
+    rng = random.Random(seed)
+    skew = HotColdSkew(40.0)
+    factory = RequestFactory()
+    return [
+        factory.create(block_id=skew.draw_block(rng, catalog), arrival_s=0.0)
+        for _ in range(count)
+    ]
+
+
+def envelope_time(catalog, requests, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        computer = EnvelopeComputer(
+            timing=EXB_8505XL,
+            catalog=catalog,
+            tape_count=TAPES,
+            mounted_id=0,
+            head_mb=0.0,
+        )
+        start = time.perf_counter()
+        computer.compute(list(requests))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_envelope_rescheduler_scaling(benchmark, capsys):
+    spec = PlacementSpec(
+        layout=Layout.VERTICAL, percent_hot=10, replicas=9, start_position=1.0
+    )
+    catalog = build_catalog(spec, TAPES, 7 * 1024.0)
+
+    sizes = (35, 140, 560)
+    timings = {}
+    for size in sizes:
+        requests = make_requests(catalog, size, seed=7)
+        timings[size] = envelope_time(catalog, requests)
+
+    # Benchmark the paper's operating point (n=140, the heaviest queue).
+    requests_140 = make_requests(catalog, 140, seed=7)
+    benchmark(
+        lambda: EnvelopeComputer(
+            timing=EXB_8505XL,
+            catalog=catalog,
+            tape_count=TAPES,
+            mounted_id=0,
+            head_mb=0.0,
+        ).compute(list(requests_140))
+    )
+
+    growth_low = timings[140] / timings[35]
+    growth_high = timings[560] / timings[140]
+    with capsys.disabled():
+        print("\nEnvelope major rescheduler scaling (t=10 tapes):")
+        for size in sizes:
+            print(f"  n={size:4d}: {timings[size] * 1e3:8.2f} ms")
+        print(f"  growth 35->140: {growth_low:.1f}x, 140->560: {growth_high:.1f}x")
+        print("  (O(n^2 t^2) bound predicts <= 16x per 4x in n)")
+
+    # Polynomial sanity: 4x requests should stay well under cubic blowup,
+    # with generous slack for timer noise on small inputs.
+    assert growth_high < 64.0
+    assert timings[140] < 1.0, "n=140 reschedule should take well under a second"

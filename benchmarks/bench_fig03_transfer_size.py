@@ -1,0 +1,45 @@
+"""Figure 3: the effect of transfer size.
+
+Paper claims (Section 4.1): throughput rises steeply with block size up
+to ~16 MB; halving 16 MB to 8 MB costs nearly a factor of 2; at 16 MB
+the effective rate exceeds 30% of the drive's streaming rate.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure3
+from repro.tape import EXB_8505XL
+
+from _util import HORIZON_S, show, regenerate
+
+#: Streaming transfer rate of the modelled drive, KB/s.
+STREAMING_KB_S = 1024.0 / EXB_8505XL.read_s_per_mb
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_transfer_size(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure3,
+        horizon_s=HORIZON_S,
+        block_sizes_mb=(1, 2, 4, 8, 16, 32, 64),
+        queue_lengths=(20, 60, 100, 140),
+    )
+    show(capsys, data)
+
+    for label, points in data.series.items():
+        throughput = {size: kb_s for size, kb_s in points}
+        # Monotone increasing in transfer size across the studied range.
+        sizes = sorted(throughput)
+        values = [throughput[size] for size in sizes]
+        assert values == sorted(values), f"{label}: not monotone in size"
+        # 8 MB -> 16 MB roughly doubles performance (paper: "nearly a
+        # factor of 2"); accept 1.5x..2.5x.
+        ratio = throughput[16] / throughput[8]
+        assert 1.5 < ratio < 2.5, f"{label}: 16/8 MB ratio {ratio:.2f}"
+        # At 16 MB the effective rate exceeds 30% of streaming at the
+        # heavier workloads.
+        if label in ("Q-100", "Q-140"):
+            assert throughput[16] > 0.30 * STREAMING_KB_S, label
+        # 1 MB blocks starve the system (< 10% of streaming).
+        assert throughput[1] < 0.10 * STREAMING_KB_S, label

@@ -1,0 +1,59 @@
+"""Figure 4: relative performance of scheduling algorithms, no replication.
+
+Paper claims (Section 4.2): FIFO is a vertical line (throughput does not
+improve with queue length); static algorithms are generally inferior to
+dynamic ones at heavy load; dynamic max-bandwidth is a good choice for
+all workloads, with max-requests nearly as good.
+"""
+
+import pytest
+
+from repro.experiments.figures import FIGURE4_ALGORITHMS, figure4
+
+from _util import HORIZON_S, QUEUES, at_queue, mean_throughput, show, regenerate
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_scheduling_no_replication(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure4,
+        horizon_s=HORIZON_S,
+        algorithms=FIGURE4_ALGORITHMS,
+        queue_lengths=QUEUES,
+    )
+    show(capsys, data)
+    series = data.series
+
+    # FIFO: throughput flat in queue length (vertical line in the paper's
+    # parametric plot) and far below everything else.
+    fifo = series["fifo"]
+    fifo_span = max(p.throughput_kb_s for p in fifo) / min(
+        p.throughput_kb_s for p in fifo
+    )
+    assert fifo_span < 1.15, "FIFO throughput should not grow with queue"
+    for name, points in series.items():
+        if name != "fifo":
+            assert mean_throughput(points) > 2 * mean_throughput(fifo), name
+
+    # FIFO delay explodes linearly with queue length.
+    assert at_queue(fifo, 140).mean_response_s > 4 * at_queue(fifo, 20).mean_response_s
+
+    # At heavy load, each dynamic algorithm beats its static counterpart.
+    for policy in ("max-requests", "max-bandwidth", "round-robin"):
+        static_name, dynamic_name = f"static-{policy}", f"dynamic-{policy}"
+        if static_name in series and dynamic_name in series:
+            static_heavy = at_queue(series[static_name], 140)
+            dynamic_heavy = at_queue(series[dynamic_name], 140)
+            assert (
+                dynamic_heavy.throughput_kb_s >= 0.98 * static_heavy.throughput_kb_s
+            ), policy
+
+    # Dynamic max-bandwidth is within a few percent of the best curve
+    # everywhere (the paper's "good for all workloads").
+    best_mean = max(
+        mean_throughput(points) for name, points in series.items() if name != "fifo"
+    )
+    assert mean_throughput(series["dynamic-max-bandwidth"]) > 0.93 * best_mean
+    # ... and max-requests is nearly as good.
+    assert mean_throughput(series["dynamic-max-requests"]) > 0.90 * best_mean

@@ -1,0 +1,59 @@
+"""Figure 6: throughput and latency versus the number of replicas.
+
+Paper claims (Section 4.4): more replicas uniformly help; full
+replication gains ~18% in requests/minute and up to ~13% in response
+time over no replication, driven by ~20% fewer tape switches; returns
+diminish with each added replica.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure6
+
+from _util import HORIZON_S, QUEUES, at_queue, mean_delay, mean_throughput, show, regenerate
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_replication_of_hot_data(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure6,
+        horizon_s=HORIZON_S,
+        replica_counts=(0, 1, 2, 4, 9),
+        queue_lengths=QUEUES,
+    )
+    show(capsys, data)
+    series = data.series
+
+    throughputs = {
+        int(label.split("-")[1]): mean_throughput(points)
+        for label, points in series.items()
+    }
+    delays = {
+        int(label.split("-")[1]): mean_delay(points)
+        for label, points in series.items()
+    }
+
+    # More replicas -> better throughput, monotonically (small tolerance
+    # for simulation noise between adjacent counts).
+    counts = sorted(throughputs)
+    for lower, higher in zip(counts, counts[1:]):
+        assert throughputs[higher] > 0.99 * throughputs[lower], (lower, higher)
+    assert throughputs[9] > throughputs[0]
+
+    # Full replication improves requests/min by roughly the paper's 18%
+    # (accept 8%..45%) and response time (accept any clear improvement).
+    gain = throughputs[9] / throughputs[0] - 1.0
+    assert 0.08 < gain < 0.45, f"full-replication gain {gain:.1%}"
+    assert delays[9] < delays[0]
+
+    # Tape switches drop with replication (paper: ~20% fewer).
+    switches_0 = at_queue(series["NR-0"], 60).tape_switches_per_hour
+    switches_9 = at_queue(series["NR-9"], 60).tape_switches_per_hour
+    assert switches_9 < switches_0
+
+    # Diminishing returns: the first replicas buy more than the last.
+    early_gain = throughputs[2] - throughputs[0]
+    late_gain = throughputs[9] - throughputs[4]
+    assert early_gain > 0
+    assert late_gain < early_gain * 1.5

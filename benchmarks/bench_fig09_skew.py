@@ -1,0 +1,49 @@
+"""Figure 9: the relationship between skew and performance improvements.
+
+Paper claims (Section 4.7): more skew uniformly improves throughput and
+delay; full replication beats no replication at every skew, by up to
+~25% throughput and ~19% response time.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure9
+
+from _util import HORIZON_S, QUEUES, mean_delay, mean_throughput, show, regenerate
+
+SKEWS = (20.0, 40.0, 60.0, 80.0)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_skew(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure9,
+        horizon_s=HORIZON_S,
+        skews=SKEWS,
+        queue_lengths=QUEUES,
+    )
+    show(capsys, data)
+    series = data.series
+
+    replicated = {
+        skew: mean_throughput(series[f"RH-{skew:g} NR-9"]) for skew in SKEWS
+    }
+    plain = {skew: mean_throughput(series[f"RH-{skew:g} NR-0"]) for skew in SKEWS}
+
+    # Increasing skew helps both configurations monotonically.
+    for lower, higher in zip(SKEWS, SKEWS[1:]):
+        assert replicated[higher] > 0.99 * replicated[lower], ("NR-9", lower, higher)
+        assert plain[higher] > 0.99 * plain[lower], ("NR-0", lower, higher)
+
+    # Replication beats no replication at every skew...
+    for skew in SKEWS:
+        assert replicated[skew] > plain[skew], skew
+    # ...with gains growing toward the paper's ~25% at high skew.
+    high_gain = replicated[80.0] / plain[80.0] - 1.0
+    low_gain = replicated[20.0] / plain[20.0] - 1.0
+    assert high_gain > low_gain
+    assert high_gain > 0.10, f"high-skew gain only {high_gain:.1%}"
+
+    # Delay improves with replication at high skew as well.
+    assert mean_delay(series["RH-80 NR-9"]) < mean_delay(series["RH-80 NR-0"])

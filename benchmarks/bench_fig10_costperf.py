@@ -1,0 +1,54 @@
+"""Figure 10: storage expansion and cost-performance of replication.
+
+Paper claims (Section 4.8): the expansion factor is E = 1 + NR*PH/100
+(10a); per dollar, replication helps only under high skew — up to
+~8-10% at very high skew, while moderate skew can lose a few percent
+(10b).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure10a, figure10b
+
+from _util import HORIZON_S, show, regenerate
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_expansion_factor(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure10a,
+        replica_counts=tuple(range(10)),
+        percent_hot_values=(5.0, 10.0, 20.0, 30.0),
+    )
+    show(capsys, data)
+    for label, row in data.series.items():
+        percent_hot = float(label.split("-")[1])
+        for replicas, expansion in row:
+            assert expansion == pytest.approx(1 + replicas * percent_hot / 100)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_cost_performance(benchmark, capsys):
+    data = regenerate(
+        benchmark,
+        figure10b,
+        horizon_s=HORIZON_S,
+        skews=(20.0, 40.0, 80.0),
+        replica_counts=(0, 2, 9),
+        base_queue_length=60,
+    )
+    show(capsys, data)
+    curves = {label: dict(points) for label, points in data.series.items()}
+
+    # Every curve is anchored at 1.0 for NR-0.
+    for label, curve in curves.items():
+        assert curve[0] == 1.0, label
+
+    # High skew: replication pays off per dollar (paper: ~8-10%).
+    assert curves["RH-80"][9] > 1.0
+    # Moderate/low skew: at best marginal, possibly a small loss
+    # (paper: "degrades the cost-performance ratio by as much as 3%").
+    assert curves["RH-20"][9] < 1.05
+    # The ordering by skew holds for full replication.
+    assert curves["RH-80"][9] > curves["RH-40"][9] > curves["RH-20"][9] * 0.98

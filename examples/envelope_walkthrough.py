@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Executable walkthrough of the paper's Figure 2 envelope example.
+
+Four blocks are requested: A, B on tape 1, C on tape 0, and D replicated
+on both tapes — right after C on tape 0, and near the end of tape 1.
+A greedy per-tape scheduler mounted on tape 1 reads A, B, then travels
+all the way to the end of tape 1 for D.  The envelope-extension
+algorithm instead notices that extending tape 0's envelope from C to D
+is far cheaper, and serves D from tape 0.
+
+Usage::
+
+    python examples/envelope_walkthrough.py
+"""
+
+from repro.core import EnvelopeComputer, PendingList, SchedulerContext
+from repro.layout import BlockCatalog, Replica
+from repro.tape import EXB_8505XL, Jukebox
+from repro.workload import RequestFactory
+
+BLOCK_MB = 16.0
+NAMES = "ABCD"
+
+
+def build_figure2_catalog() -> BlockCatalog:
+    """Tape 0: C at 0, D at 16.  Tape 1: A at 0, B at 16, D at 6000."""
+    return BlockCatalog(
+        block_mb=BLOCK_MB,
+        n_hot=0,
+        replicas_by_block=[
+            [Replica(1, 0.0)],                 # A
+            [Replica(1, 16.0)],                # B
+            [Replica(0, 0.0)],                 # C
+            [Replica(0, 16.0), Replica(1, 6000.0)],  # D (replicated)
+        ],
+    )
+
+
+def describe_tapes(catalog: BlockCatalog) -> None:
+    for tape_id in (0, 1):
+        contents = ", ".join(
+            f"{NAMES[block]}@{position:g}MB"
+            for position, block in catalog.tape_contents(tape_id)
+        )
+        print(f"  tape {tape_id}: {contents}")
+
+
+def main() -> None:
+    catalog = build_figure2_catalog()
+    print("Figure 2 layout (head at the beginning of tape 1):")
+    describe_tapes(catalog)
+
+    factory = RequestFactory()
+    requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(4)]
+
+    computer = EnvelopeComputer(
+        timing=EXB_8505XL,
+        catalog=catalog,
+        tape_count=2,
+        mounted_id=1,
+        head_mb=0.0,
+    )
+    state = computer.compute(requests)
+
+    print("\nUpper envelope (per tape, MB the head must traverse):")
+    for tape_id in (0, 1):
+        print(f"  tape {tape_id}: {state.envelope[tape_id]:g} MB")
+
+    print("\nReplica assignment:")
+    for request in requests:
+        replica = state.assignment[request.request_id]
+        print(
+            f"  {NAMES[request.block_id]} -> tape {replica.tape_id} "
+            f"@ {replica.position_mb:g} MB"
+        )
+
+    d_replica = state.assignment[requests[3].request_id]
+    assert d_replica == Replica(0, 16.0), "envelope should pick D's copy on tape 0"
+
+    # Contrast with the greedy alternative: cost of fetching D at the end
+    # of tape 1 versus right after C on tape 0.
+    greedy_cost = EXB_8505XL.locate_forward(6000.0 - 32.0) + EXB_8505XL.read(BLOCK_MB)
+    envelope_cost = EXB_8505XL.read(BLOCK_MB)  # streams right after C
+    print(
+        f"\nFetching D greedily from tape 1 costs {greedy_cost:,.0f} s of "
+        f"locate+read;\nthe envelope reads it in {envelope_cost:,.0f} s while "
+        "already passing over tape 0."
+    )
+
+    print("\nEnvelope extension avoided the long traversal - Figure 2 reproduced.")
+
+
+if __name__ == "__main__":
+    main()

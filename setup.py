@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on modern pip requires bdist_wheel; this shim lets
+`python setup.py develop` work offline as a fallback.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Analytic results: cost-performance model and formal-bound helpers."""
+
+from .approximations import (
+    SweepEstimate,
+    estimate_closed_throughput,
+    estimate_sweep,
+    expected_max_position,
+    requests_for_target_throughput,
+)
+from .bounds import (
+    extension_round_trip_cost,
+    harmonic,
+    optimal_extension_cost,
+    theorem2_bound,
+)
+from .costperf import (
+    cost_performance_curve,
+    cost_performance_ratio,
+    effective_queue_length,
+    expansion_table,
+)
+
+__all__ = [
+    "SweepEstimate",
+    "cost_performance_curve",
+    "estimate_closed_throughput",
+    "estimate_sweep",
+    "expected_max_position",
+    "requests_for_target_throughput",
+    "cost_performance_ratio",
+    "effective_queue_length",
+    "expansion_table",
+    "extension_round_trip_cost",
+    "harmonic",
+    "optimal_extension_cost",
+    "theorem2_bound",
+]

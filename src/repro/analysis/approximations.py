@@ -1,0 +1,147 @@
+"""Closed-form performance approximations for sweep-based scheduling.
+
+These back-of-envelope formulas predict sweep duration and steady-state
+throughput for a tape holding uniformly distributed requested blocks.
+They serve two purposes: sanity-checking the simulator (tests compare
+them against Monte-Carlo sweeps of the exact cost model) and quick
+capacity estimation without running a simulation — e.g. "how many
+requests per sweep before a jukebox sustains 250 KB/s?".
+
+Model: ``k`` requested blocks of size ``B`` MB uniformly placed on a
+tape of ``C`` MB, swept from position 0.  Order statistics give the
+expected farthest block start at ``(C - B) * k / (k + 1)``; each of the
+``k`` locates pays a startup (long-segment, since typical gaps far
+exceed the 28 MB threshold) and the gap distance at the long-segment
+rate; each read pays the transfer plus the after-forward-locate
+startup.  The sweep ends with a rewind and a switch when the drive
+moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tape.timing import DriveTimingModel
+
+MB_BYTES = 1 << 20
+
+
+def expected_max_position(k: int, extent_mb: float) -> float:
+    """Expected maximum of ``k`` uniform block starts in ``[0, extent]``."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k!r}")
+    if k == 0:
+        return 0.0
+    return extent_mb * k / (k + 1)
+
+
+@dataclass(frozen=True)
+class SweepEstimate:
+    """Predicted breakdown of one sweep plus its trailing switch."""
+
+    locate_s: float
+    read_s: float
+    rewind_s: float
+    switch_s: float
+    blocks: int
+    block_mb: float
+
+    @property
+    def service_s(self) -> float:
+        """Sweep execution time (locate + read), excluding the switch."""
+        return self.locate_s + self.read_s
+
+    @property
+    def cycle_s(self) -> float:
+        """Full cycle: sweep plus rewind and tape switch."""
+        return self.service_s + self.rewind_s + self.switch_s
+
+    @property
+    def throughput_bytes_s(self) -> float:
+        """Steady-state bytes/s if every cycle looks like this one."""
+        if self.cycle_s <= 0:
+            return 0.0
+        return self.blocks * self.block_mb * MB_BYTES / self.cycle_s
+
+    @property
+    def seconds_per_request(self) -> float:
+        """Mean service seconds consumed per completed request."""
+        if self.blocks == 0:
+            return 0.0
+        return self.cycle_s / self.blocks
+
+
+def estimate_sweep(
+    timing: DriveTimingModel,
+    k: int,
+    capacity_mb: float,
+    block_mb: float,
+) -> SweepEstimate:
+    """Expected cost of sweeping ``k`` uniform blocks from position 0."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k!r}")
+    if k == 0:
+        return SweepEstimate(0.0, 0.0, 0.0, timing.switch(), 0, block_mb)
+    extent = capacity_mb - block_mb
+    farthest = expected_max_position(k, extent)
+    # Forward travel: k locates covering `farthest` MB minus the data
+    # passed while reading (k-1 blocks lie behind the farthest start).
+    travel_mb = max(0.0, farthest - (k - 1) * block_mb)
+    locate_s = k * timing.forward_long.startup + timing.forward_long.rate * travel_mb
+    read_s = k * timing.read(block_mb, startup=True)
+    rewind_s = timing.rewind(farthest + block_mb)
+    return SweepEstimate(
+        locate_s=locate_s,
+        read_s=read_s,
+        rewind_s=rewind_s,
+        switch_s=timing.switch(),
+        blocks=k,
+        block_mb=block_mb,
+    )
+
+
+def estimate_closed_throughput(
+    timing: DriveTimingModel,
+    queue_length: int,
+    tape_count: int,
+    capacity_mb: float,
+    block_mb: float,
+) -> float:
+    """Rough steady-state KB/s for a closed workload, uniform layout.
+
+    A tape's queue drains to ~0 when serviced and refills until its next
+    visit, so it averages half of its just-before-service batch; with the
+    total outstanding pinned at Q over T tapes, the batch a sweep finds
+    is about ``2 Q / T`` (not ``Q / T``).  Placement, skew, and dynamic
+    insertion still push the real figure around; expect agreement within
+    a few tens of percent (asserted in tests), not decimals.
+    """
+    if queue_length <= 0 or tape_count <= 0:
+        raise ValueError("queue_length and tape_count must be positive")
+    per_sweep = max(1, round(2.0 * queue_length / tape_count))
+    estimate = estimate_sweep(timing, per_sweep, capacity_mb, block_mb)
+    return estimate.throughput_bytes_s / 1024.0
+
+
+def requests_for_target_throughput(
+    timing: DriveTimingModel,
+    target_kb_s: float,
+    capacity_mb: float,
+    block_mb: float,
+    max_k: int = 10_000,
+) -> int:
+    """Smallest per-sweep batch size achieving ``target_kb_s``.
+
+    Raises ``ValueError`` if even ``max_k`` blocks per sweep cannot
+    reach the target (it exceeds the drive's asymptotic rate).
+    """
+    if target_kb_s <= 0:
+        raise ValueError(f"target must be positive, got {target_kb_s!r}")
+    for k in range(1, max_k + 1):
+        estimate = estimate_sweep(timing, k, capacity_mb, block_mb)
+        if estimate.throughput_bytes_s / 1024.0 >= target_kb_s:
+            return k
+    raise ValueError(
+        f"target {target_kb_s} KB/s unreachable: exceeds the asymptotic "
+        "sweep rate of this drive/blocksize"
+    )

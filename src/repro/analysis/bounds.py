@@ -1,0 +1,116 @@
+"""Formal-results helpers (paper Section 3.3).
+
+Theorem 1 states NP-hardness of optimally extending the post-absorption
+schedule ``S1`` to cover all requests (reduction from minimum set cover
+over replica placements); nothing executable follows from it, but its
+practical consequence — we should not expect an optimal polynomial
+algorithm — motivates the greedy envelope extension.
+
+Theorem 2 bounds the envelope extension's cost over the optimal
+extension:
+
+    C(S2) - C(S1) <= H_n * (C(S2_opt) - C(S1))
+                     - n * (H_n - 1) * (C_s + C_r) + n * C_d
+
+where ``C_s`` is the short-forward-locate startup, ``C_r`` the block
+transfer time, ``C_d`` the long/short startup gap, and ``H_n`` the n-th
+harmonic number.  This module computes the bound and, for small
+instances, the brute-force optimal extension cost the bound refers to,
+so property tests can check the theorem empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..layout.catalog import Replica
+from ..tape.timing import DriveTimingModel
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n`` (``H_0 = 0``)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n!r}")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def theorem2_bound(
+    n: int,
+    optimal_extension_cost: float,
+    timing: DriveTimingModel,
+    block_mb: float,
+) -> float:
+    """Right-hand side of Theorem 2 for ``n`` unscheduled requests."""
+    h_n = harmonic(n)
+    c_s = timing.short_forward_startup_s
+    c_r = timing.block_transfer_s(block_mb)
+    c_d = timing.long_short_startup_gap_s
+    return h_n * optimal_extension_cost - n * (h_n - 1.0) * (c_s + c_r) + n * c_d
+
+
+def extension_round_trip_cost(
+    timing: DriveTimingModel,
+    envelope_mb: float,
+    positions: Sequence[float],
+    block_mb: float,
+    charge_switch: bool,
+) -> float:
+    """Cost of extending one tape's envelope through ``positions``.
+
+    Matches the major rescheduler's step-3 definition: locate and read
+    from the envelope through the sorted positions, then locate back to
+    the envelope, plus the tape switch overhead when applicable.
+    """
+    cost = timing.switch() if charge_switch else 0.0
+    head = envelope_mb
+    startup = True
+    for position in sorted(positions):
+        distance = position - head
+        if distance < 0:
+            raise ValueError(f"position {position} inside envelope {envelope_mb}")
+        if distance > 0:
+            cost += timing.locate_forward(distance)
+            startup = True
+        cost += timing.read(block_mb, startup=startup)
+        startup = False
+        head = position + block_mb
+    if positions:
+        cost += timing.locate_reverse(
+            head - envelope_mb, lands_on_bot=(envelope_mb == 0)
+        )
+    return cost
+
+
+def optimal_extension_cost(
+    timing: DriveTimingModel,
+    envelopes: Dict[int, float],
+    request_replicas: Sequence[Sequence[Replica]],
+    block_mb: float,
+    mounted_id: int = None,
+) -> float:
+    """Brute-force optimal cost of covering all requests (tiny instances).
+
+    Each request must be satisfied by one of its replicas; given an
+    assignment, the extension cost is the sum of per-tape round trips
+    through the assigned positions beyond each tape's envelope.  The
+    search enumerates every assignment — exponential, usable only for
+    the small cases in tests (the problem is NP-hard, Theorem 1).
+    """
+    if not request_replicas:
+        return 0.0
+    best = float("inf")
+    for assignment in itertools.product(*request_replicas):
+        per_tape: Dict[int, List[float]] = {}
+        for replica in assignment:
+            per_tape.setdefault(replica.tape_id, []).append(replica.position_mb)
+        cost = 0.0
+        for tape_id, positions in per_tape.items():
+            envelope = envelopes.get(tape_id, 0.0)
+            outside = [position for position in positions if position >= envelope]
+            charge_switch = envelope == 0.0 and tape_id != mounted_id
+            cost += extension_round_trip_cost(
+                timing, envelope, outside, block_mb, charge_switch
+            )
+        best = min(best, cost)
+    return best

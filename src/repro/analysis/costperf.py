@@ -1,0 +1,96 @@
+"""Cost-performance analysis of replication (paper Section 4.8).
+
+Replication expands storage by ``E = 1 + NR * PH / 100``; a farm of
+jukeboxes storing the same data therefore needs ``E`` times more
+jukeboxes, and each jukebox sees ``1/E`` of the request workload.  The
+cost-performance ratio of a replicated scheme versus the non-replicated
+baseline reduces to the ratio of per-jukebox throughputs at the
+accordingly scaled queue lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..layout.placement import Layout, expansion_factor
+
+
+def effective_queue_length(base_queue_length: int, expansion: float) -> int:
+    """Per-jukebox queue length after spreading load over ``E`` jukeboxes."""
+    if base_queue_length <= 0:
+        raise ValueError(
+            f"base_queue_length must be positive, got {base_queue_length!r}"
+        )
+    if expansion < 1.0:
+        raise ValueError(f"expansion factor must be >= 1, got {expansion!r}")
+    return max(1, round(base_queue_length / expansion))
+
+
+def cost_performance_ratio(
+    replicated_throughput: float, baseline_throughput: float
+) -> float:
+    """Ratio of per-jukebox throughputs (> 1 means replication pays off)."""
+    if baseline_throughput <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return replicated_throughput / baseline_throughput
+
+
+def expansion_table(
+    replica_counts: Sequence[int], percent_hot_values: Sequence[float]
+) -> Dict[float, List[Tuple[int, float]]]:
+    """Figure 10(a): ``PH -> [(NR, E)]`` rows of the expansion factor."""
+    return {
+        percent_hot: [
+            (replicas, expansion_factor(replicas, percent_hot))
+            for replicas in replica_counts
+        ]
+        for percent_hot in percent_hot_values
+    }
+
+
+def cost_performance_curve(
+    horizon_s: float,
+    percent_requests_hot: float,
+    replica_counts: Sequence[int],
+    base_queue_length: int = 60,
+    percent_hot: float = 10.0,
+    tape_count: int = 10,
+    scheduler: str = "envelope-max-bandwidth",
+    seed: int = 42,
+) -> List[Tuple[int, float]]:
+    """Figure 10(b): ``[(NR, cost-performance ratio)]`` for one skew.
+
+    Runs the non-replicated baseline at ``base_queue_length`` and each
+    replicated scheme at ``round(base / E)``, comparing per-jukebox
+    throughput.  Layout follows the paper: vertical, replicas at SP-1.0.
+    """
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.runner import run_experiment
+
+    def throughput(replicas: int, queue_length: int) -> float:
+        config = ExperimentConfig(
+            scheduler=scheduler,
+            layout=Layout.VERTICAL,
+            percent_hot=percent_hot,
+            percent_requests_hot=percent_requests_hot,
+            replicas=replicas,
+            start_position=1.0 if replicas else 0.0,
+            tape_count=tape_count,
+            queue_length=queue_length,
+            horizon_s=horizon_s,
+            seed=seed,
+        )
+        return run_experiment(config).throughput_kb_s
+
+    baseline = throughput(0, base_queue_length)
+    curve: List[Tuple[int, float]] = []
+    for replicas in replica_counts:
+        if replicas == 0:
+            curve.append((0, 1.0))
+            continue
+        expansion = expansion_factor(replicas, percent_hot)
+        queue_length = effective_queue_length(base_queue_length, expansion)
+        curve.append(
+            (replicas, cost_performance_ratio(throughput(replicas, queue_length), baseline))
+        )
+    return curve

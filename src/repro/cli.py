@@ -1,0 +1,208 @@
+"""Command-line interface: regenerate paper figures or run one experiment.
+
+Examples::
+
+    tape-jukebox figure 6 --horizon 200000
+    tape-jukebox run --scheduler envelope-max-bandwidth --replicas 9 \\
+        --layout vertical --start-position 1.0 --queue 60
+    tape-jukebox list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.registry import scheduler_names
+from .experiments.config import ExperimentConfig
+from .experiments.figures import FIGURES
+from .experiments.runner import run_experiment
+from .layout.placement import Layout
+from .report.text import format_figure
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", default="dynamic-max-bandwidth")
+    parser.add_argument("--layout", choices=("horizontal", "vertical"), default="horizontal")
+    parser.add_argument("--percent-hot", type=float, default=10.0)
+    parser.add_argument("--percent-requests-hot", type=float, default=40.0)
+    parser.add_argument("--replicas", type=int, default=0)
+    parser.add_argument("--start-position", type=float, default=0.0)
+    parser.add_argument("--block-mb", type=float, default=16.0)
+    parser.add_argument("--tapes", type=int, default=10)
+    parser.add_argument("--queue", type=int, default=None, help="closed-queueing length")
+    parser.add_argument(
+        "--interarrival", type=float, default=None, help="open-queueing mean (s)"
+    )
+    parser.add_argument("--horizon", type=float, default=400_000.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--technology", choices=("helical", "serpentine"), default="helical"
+    )
+
+
+def _config_from_args(args: argparse.Namespace, queue=None) -> ExperimentConfig:
+    if queue is None:
+        queue = args.queue
+    interarrival = getattr(args, "interarrival", None)
+    if queue is None and interarrival is None:
+        queue = 60
+    return ExperimentConfig(
+        scheduler=args.scheduler,
+        layout=Layout(args.layout),
+        percent_hot=args.percent_hot,
+        percent_requests_hot=args.percent_requests_hot,
+        replicas=args.replicas,
+        start_position=args.start_position,
+        block_mb=args.block_mb,
+        tape_count=args.tapes,
+        queue_length=queue,
+        mean_interarrival_s=interarrival,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        drive_technology=args.technology,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="tape-jukebox",
+        description="Tape jukebox scheduling & replication simulator "
+        "(Hillyer/Rastogi/Silberschatz, ICDE 1999 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("figure_id", choices=sorted(FIGURES))
+    figure_parser.add_argument("--horizon", type=float, default=None)
+    figure_parser.add_argument(
+        "--format", choices=("text", "csv", "markdown"), default="text"
+    )
+    figure_parser.add_argument(
+        "--plot", action="store_true", help="append an ASCII throughput/delay plot"
+    )
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    _add_run_arguments(run_parser)
+    run_parser.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N drive operations after the run",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="trace one parametric curve over queue lengths"
+    )
+    _add_run_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--queues",
+        default="20,40,60,80,100,120,140",
+        help="comma-separated closed-queueing lengths",
+    )
+
+    lifecycle_parser = subparsers.add_parser(
+        "lifecycle", help="plan layouts for the Section 4.8 filling lifecycle"
+    )
+    lifecycle_parser.add_argument("--tapes", type=int, default=10)
+    lifecycle_parser.add_argument("--capacity-mb", type=float, default=7 * 1024.0)
+    lifecycle_parser.add_argument("--percent-hot", type=float, default=10.0)
+    lifecycle_parser.add_argument(
+        "--fills", default="0.3,0.5,0.7,0.9,1.0",
+        help="comma-separated fill fractions",
+    )
+
+    subparsers.add_parser("list", help="list available schedulers")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in scheduler_names():
+            print(name)
+        return 0
+
+    if args.command == "figure":
+        generator = FIGURES[args.figure_id]
+        if args.figure_id == "10a" or args.horizon is None:
+            data = generator()
+        else:
+            data = generator(horizon_s=args.horizon)
+        if args.format == "csv":
+            from .report.export import figure_to_csv
+
+            print(figure_to_csv(data), end="")
+        elif args.format == "markdown":
+            from .report.export import figure_to_markdown
+
+            print(figure_to_markdown(data))
+        else:
+            print(format_figure(data))
+        if args.plot:
+            from .report.plot import plot_throughput_delay
+
+            print(plot_throughput_delay(data))
+        return 0
+
+    if args.command == "lifecycle":
+        from .layout.lifecycle import LifecyclePlanner
+        from .report.text import format_table
+
+        planner = LifecyclePlanner(
+            tape_count=args.tapes,
+            capacity_mb=args.capacity_mb,
+            percent_hot=args.percent_hot,
+        )
+        fills = [float(piece) for piece in args.fills.split(",") if piece]
+        rows = []
+        for plan in planner.schedule(fills):
+            rows.append(
+                (
+                    f"{plan.base_utilization:.0%}",
+                    plan.stage.value,
+                    plan.spec.layout.value,
+                    plan.replicas,
+                    f"SP-{plan.spec.start_position:g}",
+                )
+            )
+        print(
+            format_table(("fill", "stage", "layout", "replicas", "hot_run"), rows)
+        )
+        return 0
+
+    if args.command == "sweep":
+        from .experiments.sweeps import queue_sweep
+        from .report.text import format_parametric_series
+
+        queue_lengths = [int(piece) for piece in args.queues.split(",") if piece]
+        base = _config_from_args(args, queue=queue_lengths[0])
+        points = queue_sweep(base, queue_lengths)
+        print(format_parametric_series(args.scheduler, points))
+        return 0
+
+    config = _config_from_args(args)
+    if args.trace > 0:
+        from .experiments.runner import build_simulator
+        from .service.oplog import OperationLog
+
+        simulator = build_simulator(config)
+        if not hasattr(simulator, "oplog"):
+            raise SystemExit("--trace is only supported for single-drive runs")
+        log = OperationLog(capacity=args.trace)
+        simulator.oplog = log
+        report = simulator.run(config.horizon_s)
+        print(config.describe())
+        print(report)
+        print(log.format(limit=args.trace))
+        return 0
+
+    result = run_experiment(config)
+    print(result.config.describe())
+    print(result.report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's core contribution: tape jukebox retrieval scheduling."""
+
+from .base import MajorDecision, Scheduler, SchedulerContext, coalesce_entries
+from .cost import (
+    ExtensionCostTracker,
+    SweepCost,
+    effective_bandwidth,
+    schedule_time,
+    sweep_cost,
+)
+from .dynamic import DynamicScheduler
+from .envelope import EnvelopeComputer, EnvelopeScheduler, EnvelopeState
+from .fifo import FifoScheduler
+from .pending import PendingList
+from .policies import (
+    MaxBandwidth,
+    MaxRequests,
+    OldestRequestMaxBandwidth,
+    OldestRequestMaxRequests,
+    POLICIES,
+    RoundRobin,
+    SelectionContext,
+    TapeSelectionPolicy,
+    jukebox_order,
+)
+from .registry import make_scheduler, scheduler_names
+from .static_ import StaticScheduler
+from .sweep import ServiceEntry, ServiceList, SweepPhase
+
+__all__ = [
+    "DynamicScheduler",
+    "EnvelopeComputer",
+    "EnvelopeScheduler",
+    "EnvelopeState",
+    "ExtensionCostTracker",
+    "FifoScheduler",
+    "MajorDecision",
+    "MaxBandwidth",
+    "MaxRequests",
+    "OldestRequestMaxBandwidth",
+    "OldestRequestMaxRequests",
+    "POLICIES",
+    "PendingList",
+    "RoundRobin",
+    "Scheduler",
+    "SchedulerContext",
+    "SelectionContext",
+    "ServiceEntry",
+    "ServiceList",
+    "StaticScheduler",
+    "SweepCost",
+    "SweepPhase",
+    "TapeSelectionPolicy",
+    "coalesce_entries",
+    "effective_bandwidth",
+    "jukebox_order",
+    "make_scheduler",
+    "scheduler_names",
+    "schedule_time",
+    "sweep_cost",
+]

@@ -1,0 +1,187 @@
+"""Analytic schedule cost model.
+
+Computes, without touching any drive state, the execution time of a sweep
+and the *effective bandwidth* of a candidate schedule (paper Section 3.1:
+bytes retrieved divided by total seconds including tape-switch overhead).
+The arithmetic mirrors :class:`repro.tape.drive.TapeDrive` exactly — a
+property the test suite asserts — so scheduling decisions are consistent
+with what the simulated hardware will actually do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..tape.timing import DriveTimingModel
+
+#: Bytes per MB, used when converting block counts to bytes.
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class SweepCost:
+    """Breakdown of a sweep's execution time."""
+
+    locate_s: float
+    read_s: float
+    end_head_mb: float
+
+    @property
+    def total_s(self) -> float:
+        """Locate plus read time for the sweep."""
+        return self.locate_s + self.read_s
+
+
+def sweep_cost(
+    timing: DriveTimingModel,
+    head_mb: float,
+    positions: Sequence[float],
+    block_mb: float,
+    startup_pending: bool = True,
+) -> SweepCost:
+    """Cost of a forward-then-reverse sweep from ``head_mb``.
+
+    ``positions`` are block start positions (any order, duplicates
+    allowed once coalesced by the caller).  ``startup_pending`` mirrors
+    the drive's state: whether a read begun without any repositioning
+    would still pay the forward startup.  Returns the time split and the
+    final head position (end of the last block read).
+    """
+    forward = sorted(position for position in positions if position >= head_mb)
+    reverse = sorted(
+        (position for position in positions if position < head_mb), reverse=True
+    )
+    locate_s = 0.0
+    read_s = 0.0
+    head = head_mb
+    for position in forward:
+        distance = position - head
+        if distance > 0:
+            locate_s += timing.locate_forward(distance)
+            startup_pending = True
+        read_s += timing.read(block_mb, startup=startup_pending)
+        startup_pending = False
+        head = position + block_mb
+    for position in reverse:
+        distance = head - position
+        if distance > 0:
+            locate_s += timing.locate_reverse(distance, lands_on_bot=(position == 0))
+            startup_pending = False
+        read_s += timing.read(block_mb, startup=startup_pending)
+        startup_pending = False
+        head = position + block_mb
+    return SweepCost(locate_s=locate_s, read_s=read_s, end_head_mb=head)
+
+
+def schedule_time(
+    timing: DriveTimingModel,
+    positions: Sequence[float],
+    block_mb: float,
+    mounted: bool,
+    head_mb: float,
+    rewind_from_mb: float = 0.0,
+) -> float:
+    """Total seconds to service ``positions`` on a candidate tape.
+
+    For the currently mounted tape (``mounted=True``) this is just the
+    sweep from ``head_mb``.  For another tape it adds the full switch
+    overhead — rewinding the mounted tape from ``rewind_from_mb``, eject,
+    robot swap, load — and sweeps from position 0.
+    """
+    if mounted:
+        return sweep_cost(timing, head_mb, positions, block_mb).total_s
+    overhead = timing.switch_with_rewind(rewind_from_mb)
+    return overhead + sweep_cost(timing, 0.0, positions, block_mb).total_s
+
+
+def effective_bandwidth(
+    timing: DriveTimingModel,
+    positions: Sequence[float],
+    block_mb: float,
+    mounted: bool,
+    head_mb: float,
+    rewind_from_mb: float = 0.0,
+) -> float:
+    """Effective bandwidth (bytes/s) of servicing ``positions`` on a tape."""
+    if not positions:
+        return 0.0
+    seconds = schedule_time(
+        timing, positions, block_mb, mounted, head_mb, rewind_from_mb
+    )
+    if seconds <= 0:
+        return float("inf")
+    return len(positions) * block_mb * MB / seconds
+
+
+class ExtensionCostTracker:
+    """Incremental round-trip costs for envelope extension prefixes.
+
+    For one tape's extension list (requests outside the envelope, sorted
+    by position), tracks the cost of extending the envelope through the
+    first ``j`` blocks: locate/read out from the envelope through the
+    prefix, plus the reverse locate back to the envelope position, plus
+    the tape-switch overhead when the tape is unmounted with a zero
+    envelope (paper Section 3.2, step 3).  Each :meth:`extend` call is
+    O(1), keeping the envelope algorithm's inner loop linear.
+    """
+
+    def __init__(
+        self,
+        timing: DriveTimingModel,
+        envelope_mb: float,
+        block_mb: float,
+        charge_switch: bool,
+    ) -> None:
+        self._timing = timing
+        self._envelope_mb = envelope_mb
+        self._block_mb = block_mb
+        self._switch_s = timing.switch() if charge_switch else 0.0
+        self._outbound_s = 0.0
+        self._head = envelope_mb
+        self._startup_pending = True
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of blocks in the current prefix."""
+        return self._count
+
+    def extend(self, position_mb: float) -> float:
+        """Add the block at ``position_mb`` to the prefix; return its cost.
+
+        Returns the full incremental time cost of the extended prefix
+        (outbound + return + switch), per the paper's definition.
+        """
+        if position_mb < self._head - self._block_mb:
+            raise ValueError(
+                f"extension list not sorted: {position_mb} behind head {self._head}"
+            )
+        distance = position_mb - self._head
+        if distance > 0:
+            self._outbound_s += self._timing.locate_forward(distance)
+            self._startup_pending = True
+        self._outbound_s += self._timing.read(self._block_mb, startup=self._startup_pending)
+        self._startup_pending = False
+        self._head = position_mb + self._block_mb
+        self._count += 1
+        return self.prefix_cost()
+
+    def prefix_cost(self) -> float:
+        """Cost of the current prefix (outbound + return leg + switch)."""
+        if self._count == 0:
+            return self._switch_s
+        return_s = self._timing.locate_reverse(
+            self._head - self._envelope_mb,
+            lands_on_bot=(self._envelope_mb == 0),
+        )
+        return self._switch_s + self._outbound_s + return_s
+
+    def prefix_bandwidth(self) -> float:
+        """Incremental bandwidth (bytes/s) of the current prefix."""
+        if self._count == 0:
+            return 0.0
+        cost = self.prefix_cost()
+        if cost <= 0:
+            return float("inf")
+        return self._count * self._block_mb * MB / cost

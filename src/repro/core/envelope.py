@@ -1,0 +1,456 @@
+"""The envelope-extension scheduling algorithm (paper Section 3.2).
+
+The algorithm takes a global view across tapes.  The requests for
+*non-replicated* blocks pin down, per tape, a prefix that must be
+traversed no matter what — the initial *envelope*.  Requests whose
+replicas already fall inside the envelope are absorbed for free; the
+remaining requests are scheduled by repeatedly extending the envelope
+with the prefix of some tape's outstanding requests that maximizes
+*incremental bandwidth* (bytes gained per second of extra traversal),
+then shrinking the envelope wherever a replicated block just became
+reachable more cheaply on the newly extended tape.
+
+The resulting *upper envelope* covers every pending request; a standard
+tape-selection policy then picks which tape to visit first, and all
+requests satisfiable inside the envelope on that tape form the sweep.
+
+With no replicated blocks every request is its own envelope pin, steps
+3-6 degenerate to absorbing each request on its only tape, and the
+algorithm behaves exactly like the corresponding dynamic algorithm —
+matching the paper's remark that max-bandwidth envelope "degenerates
+into the dynamic max-bandwidth algorithm" without replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..layout.catalog import BlockCatalog, Replica
+from ..tape.timing import DriveTimingModel
+from ..workload.requests import Request
+from .base import MajorDecision, Scheduler, SchedulerContext, coalesce_entries
+from .cost import ExtensionCostTracker
+from .policies import SelectionContext, TapeSelectionPolicy, jukebox_order
+from .sweep import ServiceEntry
+
+
+@dataclass
+class EnvelopeState:
+    """The upper envelope and the per-request replica assignment."""
+
+    #: Per-tape envelope position: the head position after reading the
+    #: highest scheduled block on that tape (0 when the tape is untouched).
+    envelope: Dict[int, float] = field(default_factory=dict)
+    #: request_id -> the replica chosen to satisfy it.
+    assignment: Dict[int, Replica] = field(default_factory=dict)
+    #: Per-tape count of requests currently assigned to it.
+    scheduled_count: Dict[int, int] = field(default_factory=dict)
+
+    def assign(self, request: Request, replica: Replica) -> None:
+        """Bind ``request`` to ``replica``, updating the per-tape counts."""
+        previous = self.assignment.get(request.request_id)
+        if previous is not None:
+            self.scheduled_count[previous.tape_id] -= 1
+        self.assignment[request.request_id] = replica
+        self.scheduled_count[replica.tape_id] = (
+            self.scheduled_count.get(replica.tape_id, 0) + 1
+        )
+
+
+class EnvelopeComputer:
+    """Runs steps 1-6 of the major rescheduler's envelope construction."""
+
+    def __init__(
+        self,
+        timing: DriveTimingModel,
+        catalog: BlockCatalog,
+        tape_count: int,
+        mounted_id: Optional[int],
+        head_mb: float,
+        enable_shrink: bool = True,
+    ) -> None:
+        self._timing = timing
+        self._catalog = catalog
+        self._tape_count = tape_count
+        self._mounted_id = mounted_id
+        self._head_mb = head_mb
+        self._block_mb = catalog.block_mb
+        #: Step 5 (envelope shrinking) can be disabled for ablation
+        #: studies of the algorithm's design choices.
+        self._enable_shrink = enable_shrink
+
+    # -- helpers --------------------------------------------------------
+    def _rank_after_mounted(self) -> Dict[int, int]:
+        anchor = self._mounted_id if self._mounted_id is not None else -1
+        return {
+            tape_id: rank
+            for rank, tape_id in enumerate(jukebox_order(self._tape_count, anchor + 1))
+        }
+
+    def _inside(self, replica: Replica, state: EnvelopeState) -> bool:
+        return replica.position_mb + self._block_mb <= state.envelope.get(
+            replica.tape_id, 0.0
+        )
+
+    def _choose_absorption_replica(
+        self, candidates: List[Replica], state: EnvelopeState, rank: Dict[int, int]
+    ) -> Replica:
+        """Step 2 tie-break: mounted tape first, else max scheduled count,
+        then first in jukebox order after the mounted tape."""
+        for replica in candidates:
+            if replica.tape_id == self._mounted_id:
+                return replica
+        return max(
+            candidates,
+            key=lambda replica: (
+                state.scheduled_count.get(replica.tape_id, 0),
+                -rank[replica.tape_id],
+            ),
+        )
+
+    # -- the algorithm ---------------------------------------------------
+    def compute(self, requests: List[Request]) -> EnvelopeState:
+        """Compute the upper envelope covering all ``requests``."""
+        self._request_index = {request.request_id: request for request in requests}
+        state = EnvelopeState(
+            envelope={tape_id: 0.0 for tape_id in range(self._tape_count)}
+        )
+        rank = self._rank_after_mounted()
+        block_mb = self._block_mb
+
+        # Step 1: pin the envelope with the highest non-replicated request
+        # per tape, and with the current head on the mounted tape.
+        for request in requests:
+            replicas = self._catalog.replicas_of(request.block_id)
+            if len(replicas) == 1:
+                replica = replicas[0]
+                end = replica.position_mb + block_mb
+                if end > state.envelope[replica.tape_id]:
+                    state.envelope[replica.tape_id] = end
+        if self._mounted_id is not None:
+            state.envelope[self._mounted_id] = max(
+                state.envelope[self._mounted_id], self._head_mb
+            )
+
+        # Step 2: absorb everything already inside the envelope.
+        unscheduled: List[Request] = []
+        for request in requests:
+            candidates = [
+                replica
+                for replica in self._catalog.replicas_of(request.block_id)
+                if self._inside(replica, state)
+            ]
+            if candidates:
+                state.assign(
+                    request, self._choose_absorption_replica(candidates, state, rank)
+                )
+            else:
+                unscheduled.append(request)
+
+        # Steps 3-6: extend until every request is covered.
+        while unscheduled:
+            # Requests may have fallen inside the envelope since the last
+            # extension; absorbing them costs no extra traversal.
+            still_outside: List[Request] = []
+            for request in unscheduled:
+                candidates = [
+                    replica
+                    for replica in self._catalog.replicas_of(request.block_id)
+                    if self._inside(replica, state)
+                ]
+                if candidates:
+                    state.assign(
+                        request,
+                        self._choose_absorption_replica(candidates, state, rank),
+                    )
+                else:
+                    still_outside.append(request)
+            unscheduled = still_outside
+            if not unscheduled:
+                break
+
+            chosen = self._best_extension(unscheduled, state, rank)
+            if chosen is None:  # pragma: no cover - every request has a replica
+                raise RuntimeError("unscheduled requests with no extension candidates")
+            tape_id, prefix = chosen
+
+            # Step 4: extend the envelope through the chosen prefix.
+            old_envelope = state.envelope[tape_id]
+            state.envelope[tape_id] = prefix[-1][0] + block_mb
+            prefix_ids = set()
+            for position, request in prefix:
+                state.assign(request, Replica(tape_id, position))
+                prefix_ids.add(request.request_id)
+            unscheduled = [
+                request
+                for request in unscheduled
+                if request.request_id not in prefix_ids
+            ]
+
+            # Step 5: shrink other tapes' envelopes where the extension
+            # made a cheaper copy reachable.
+            if self._enable_shrink:
+                self._shrink(state, tape_id, old_envelope, rank)
+
+        return state
+
+    def _best_extension(
+        self,
+        unscheduled: List[Request],
+        state: EnvelopeState,
+        rank: Dict[int, int],
+    ) -> Optional[Tuple[int, List[Tuple[float, Request]]]]:
+        """Step 3: the (tape, prefix) with maximal incremental bandwidth."""
+        best_key: Optional[Tuple[float, int, int]] = None
+        best: Optional[Tuple[int, List[Tuple[float, Request]]]] = None
+        for tape_id in range(self._tape_count):
+            envelope = state.envelope[tape_id]
+            extension: List[Tuple[float, Request]] = []
+            for request in unscheduled:
+                if not self._catalog.has_replica_on(request.block_id, tape_id):
+                    continue
+                replica = self._catalog.replica_on(request.block_id, tape_id)
+                if replica.position_mb >= envelope:
+                    extension.append((replica.position_mb, request))
+            if not extension:
+                continue
+            extension.sort(key=lambda pair: (pair[0], pair[1].request_id))
+            charge_switch = envelope == 0.0 and tape_id != self._mounted_id
+            tracker = ExtensionCostTracker(
+                self._timing, envelope, self._block_mb, charge_switch
+            )
+            for length in range(1, len(extension) + 1):
+                position = extension[length - 1][0]
+                # Coalesced duplicate blocks add requests but only one read.
+                if length >= 2 and position == extension[length - 2][0]:
+                    pass  # same physical block: no extra read cost
+                else:
+                    tracker.extend(position)
+                bandwidth = tracker.prefix_bandwidth()
+                key = (
+                    bandwidth,
+                    state.scheduled_count.get(tape_id, 0),
+                    -rank[tape_id],
+                )
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best = (tape_id, extension[:length])
+        return best
+
+    def _shrink(
+        self,
+        state: EnvelopeState,
+        extended_tape: int,
+        old_envelope: float,
+        rank: Dict[int, int],
+    ) -> None:
+        """Step 5: move edge requests into the just-extended region of
+        ``extended_tape`` and pull other envelopes back."""
+        block_mb = self._block_mb
+        new_envelope = state.envelope[extended_tape]
+        while True:
+            candidates: List[Tuple[int, int, int, Request, Replica]] = []
+            for request_id, replica in state.assignment.items():
+                tape_id = replica.tape_id
+                if tape_id == extended_tape:
+                    continue
+                if replica.position_mb + block_mb != state.envelope.get(tape_id, 0.0):
+                    continue  # not at the outer edge
+                request = self._assigned_request(request_id)
+                if request is None:
+                    continue
+                if not self._catalog.has_replica_on(request.block_id, extended_tape):
+                    continue
+                other = self._catalog.replica_on(request.block_id, extended_tape)
+                end = other.position_mb + block_mb
+                if old_envelope < end <= new_envelope:
+                    candidates.append(
+                        (
+                            state.scheduled_count.get(tape_id, 0),
+                            tape_id,
+                            rank[tape_id],
+                            request,
+                            other,
+                        )
+                    )
+            if not candidates:
+                return
+            # Fewest scheduled requests first; ties to the lowest slot id.
+            candidates.sort(key=lambda item: (item[0], item[1]))
+            _count, tape_id, _rank, request, target = candidates[0]
+            state.assign(request, target)
+            self._recompute_envelope(state, tape_id)
+
+    def _recompute_envelope(self, state: EnvelopeState, tape_id: int) -> None:
+        """Pull ``tape_id``'s envelope back to its highest remaining block."""
+        block_mb = self._block_mb
+        floor = self._head_mb if tape_id == self._mounted_id else 0.0
+        highest = floor
+        for replica in state.assignment.values():
+            if replica.tape_id == tape_id:
+                highest = max(highest, replica.position_mb + block_mb)
+        state.envelope[tape_id] = highest
+
+    # ------------------------------------------------------------------
+    _request_index: Dict[int, Request] = {}
+
+    def _assigned_request(self, request_id: int) -> Optional[Request]:
+        """Resolve a request id back to its object (set by compute())."""
+        return self._request_index.get(request_id)
+
+
+class EnvelopeScheduler(Scheduler):
+    """Envelope-extension major rescheduler + envelope-aware incremental.
+
+    ``policy`` chooses which tape inside the upper envelope to visit
+    first (oldest-request / max-requests / max-bandwidth, Section 3.2).
+    """
+
+    def __init__(self, policy: TapeSelectionPolicy, enable_shrink: bool = True) -> None:
+        self._policy = policy
+        self._enable_shrink = enable_shrink
+        self.name = f"envelope-{policy.name}"
+        if not enable_shrink:
+            self.name += "-noshrink"
+        #: Upper envelope in effect during the current sweep.
+        self._active_envelope: Dict[int, float] = {}
+
+    @property
+    def policy(self) -> TapeSelectionPolicy:
+        """The tape-selection policy in use."""
+        return self._policy
+
+    # ------------------------------------------------------------------
+    def major_reschedule(self, context: SchedulerContext) -> Optional[MajorDecision]:
+        requests = context.pending.snapshot()
+        if not requests:
+            return None
+        computer = EnvelopeComputer(
+            timing=context.jukebox.timing,
+            catalog=context.catalog,
+            tape_count=context.tape_count,
+            mounted_id=context.mounted_id,
+            head_mb=context.head_mb,
+            enable_shrink=self._enable_shrink,
+        )
+        state = computer.compute(requests)
+        block_mb = context.block_mb
+
+        # For each tape: every request satisfiable within the upper
+        # envelope (a superset of the per-tape assignment).
+        satisfiable: Dict[int, List[Request]] = {}
+        for request in requests:
+            for replica in context.catalog.replicas_of(request.block_id):
+                if replica.position_mb + block_mb <= state.envelope.get(
+                    replica.tape_id, 0.0
+                ):
+                    satisfiable.setdefault(replica.tape_id, []).append(request)
+
+        def positions_for(tape_id: int) -> List[float]:
+            seen = set()
+            positions = []
+            for request in satisfiable.get(tape_id, ()):
+                if request.block_id in seen:
+                    continue
+                seen.add(request.block_id)
+                positions.append(
+                    context.catalog.replica_on(request.block_id, tape_id).position_mb
+                )
+            return positions
+
+        selection = SelectionContext(
+            timing=context.jukebox.timing,
+            block_mb=block_mb,
+            tape_count=context.tape_count,
+            mounted_id=context.mounted_id,
+            head_mb=context.head_mb,
+            candidates=satisfiable,
+            positions_for=positions_for,
+            oldest=context.pending.oldest(),
+        )
+        tape_id = self._policy.select(selection)
+        if tape_id is None:  # pragma: no cover - envelope covers all requests
+            return None
+
+        chosen = satisfiable[tape_id]
+        context.pending.remove_many(chosen)
+        entries = coalesce_entries(chosen, tape_id, context.catalog)
+        self._active_envelope = dict(state.envelope)
+        return MajorDecision(tape_id=tape_id, entries=entries)
+
+    # ------------------------------------------------------------------
+    def on_arrival(self, context: SchedulerContext, request: Request) -> bool:
+        service = context.service
+        mounted = context.mounted_id
+        if service is None or mounted is None:
+            context.pending.append(request)
+            return False
+        block_mb = context.block_mb
+        envelope = self._active_envelope
+
+        # Satisfiable on the current tape within the upper envelope:
+        # insert into the sweep as the dynamic incremental scheduler does.
+        if context.catalog.has_replica_on(request.block_id, mounted):
+            replica = context.catalog.replica_on(request.block_id, mounted)
+            if replica.position_mb + block_mb <= envelope.get(mounted, 0.0):
+                if self._insert_into_sweep(service, request, replica):
+                    return True
+                context.pending.append(request)
+                return False
+
+        # Otherwise apply steps 3-5 for this single request: find the
+        # cheapest envelope extension covering it.
+        best_tape: Optional[int] = None
+        best_key: Optional[Tuple[float, int]] = None
+        best_replica: Optional[Replica] = None
+        rank = {
+            tape_id: index
+            for index, tape_id in enumerate(
+                jukebox_order(context.tape_count, mounted + 1)
+            )
+        }
+        for replica in context.catalog.replicas_of(request.block_id):
+            tape_envelope = envelope.get(replica.tape_id, 0.0)
+            if replica.position_mb + block_mb <= tape_envelope:
+                # Inside another tape's envelope: servicing it there needs
+                # no extension, so prefer that tape outright when no
+                # current-tape extension wins; treated as infinite
+                # incremental bandwidth.
+                key = (float("inf"), -rank[replica.tape_id])
+            else:
+                charge_switch = tape_envelope == 0.0 and replica.tape_id != mounted
+                tracker = ExtensionCostTracker(
+                    context.jukebox.timing, tape_envelope, block_mb, charge_switch
+                )
+                tracker.extend(replica.position_mb)
+                key = (tracker.prefix_bandwidth(), -rank[replica.tape_id])
+            if best_key is None or key > best_key:
+                best_key = key
+                best_tape = replica.tape_id
+                best_replica = replica
+
+        if best_tape == mounted and best_replica is not None:
+            if self._insert_into_sweep(service, request, best_replica):
+                self._active_envelope[mounted] = max(
+                    self._active_envelope.get(mounted, 0.0),
+                    best_replica.position_mb + block_mb,
+                )
+                return True
+        context.pending.append(request)
+        return False
+
+    def _insert_into_sweep(self, service, request: Request, replica: Replica) -> bool:
+        existing = service.find_block(request.block_id)
+        if existing is not None:
+            existing.attach(request)
+            return True
+        entry = ServiceEntry(
+            position_mb=replica.position_mb,
+            block_id=request.block_id,
+            requests=[request],
+        )
+        return service.insert(entry)
+
+    def on_sweep_complete(self, context: SchedulerContext) -> None:
+        self._active_envelope = {}

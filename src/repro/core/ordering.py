@@ -1,0 +1,100 @@
+"""Alternative intra-tape retrieval orderings (ablation substrate).
+
+The paper fixes the intra-tape execution order to a single *sweep*
+(forward phase then reverse phase — the tape analogue of disk SCAN) and
+never revisits the choice.  Its own related work ([8], Hillyer &
+Silberschatz 1996) studies richer orderings for random I/O on one tape.
+This module supplies the classic greedy alternative — nearest-neighbor
+(SSTF-style): always read the remaining block whose start is closest to
+the current head — so the sweep choice can be validated empirically
+(``benchmarks/bench_ablations.py``).
+
+A nearest-neighbor schedule has no direction discipline, so the
+incremental rule "insert if still ahead of the head" relaxes to
+"insertable while the schedule is running": the greedy pick simply
+considers the new block too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .sweep import ServiceEntry, SweepPhase
+
+
+class NearestNeighborServiceList:
+    """Greedy nearest-first execution; interface-compatible with
+    :class:`~repro.core.sweep.ServiceList`."""
+
+    def __init__(self, entries: List[ServiceEntry], head_mb: float) -> None:
+        self.start_head_mb = float(head_mb)
+        self._head_mb = float(head_mb)
+        self._entries: List[ServiceEntry] = list(entries)
+        self._in_flight: Optional[ServiceEntry] = None
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no reads remain to be started."""
+        return not self._entries
+
+    @property
+    def in_flight(self) -> Optional[ServiceEntry]:
+        """The entry currently being read, if any."""
+        return self._in_flight
+
+    @property
+    def phase(self) -> SweepPhase:
+        """Nearest-neighbor has no phases; report DONE only when empty."""
+        return SweepPhase.DONE if self.is_empty else SweepPhase.FORWARD
+
+    def remaining(self) -> List[ServiceEntry]:
+        """Entries not yet started (greedy order resolved at pop time)."""
+        return list(self._entries)
+
+    def remaining_positions(self) -> List[float]:
+        """Positions of not-yet-started entries (unordered)."""
+        return [entry.position_mb for entry in self._entries]
+
+    def find_block(self, block_id: int) -> Optional[ServiceEntry]:
+        """A not-yet-started entry for ``block_id``, or ``None``."""
+        for entry in self._entries:
+            if entry.block_id == block_id:
+                return entry
+        return None
+
+    # -- execution ---------------------------------------------------------
+    def pop_next(self) -> ServiceEntry:
+        """Start the remaining entry nearest to the current head."""
+        if not self._entries:
+            raise IndexError("pop from an empty service list")
+        nearest_index = min(
+            range(len(self._entries)),
+            key=lambda index: (
+                abs(self._entries[index].position_mb - self._head_mb),
+                self._entries[index].position_mb,
+            ),
+        )
+        entry = self._entries.pop(nearest_index)
+        self._in_flight = entry
+        self._head_mb = entry.position_mb  # advanced past data by the drive
+        return entry
+
+    def finish_in_flight(self) -> None:
+        """Mark the in-flight read complete."""
+        if self._in_flight is not None:
+            self._head_mb = self._in_flight.position_mb
+        self._in_flight = None
+
+    # -- insertion ----------------------------------------------------------
+    def can_insert(self, position_mb: float) -> bool:
+        """Greedy order can always consider one more block."""
+        return True
+
+    def insert(self, entry: ServiceEntry) -> bool:
+        """Add ``entry``; the greedy pick will reach it eventually."""
+        self._entries.append(entry)
+        return True

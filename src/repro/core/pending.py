@@ -1,0 +1,80 @@
+"""The pending list: requests not yet scheduled for retrieval.
+
+The pending list is arrival-ordered (paper Section 2.2): "oldest request"
+policies look at its head.  Schedulers query it by tape via the catalog's
+replica map; sizes are the workload's queue length (tens to low hundreds),
+so linear scans with a by-id index are both simple and fast enough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..layout.catalog import BlockCatalog
+from ..workload.requests import Request
+
+
+class PendingList:
+    """Arrival-ordered collection of unscheduled requests."""
+
+    def __init__(self, catalog: BlockCatalog) -> None:
+        self._catalog = catalog
+        self._requests: List[Request] = []
+        self._by_id: Dict[int, Request] = {}
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __contains__(self, request: Request) -> bool:
+        return request.request_id in self._by_id
+
+    @property
+    def catalog(self) -> BlockCatalog:
+        """The block catalog used to resolve candidate tapes."""
+        return self._catalog
+
+    def append(self, request: Request) -> None:
+        """Add a newly deferred request at the tail (arrival order)."""
+        if request.request_id in self._by_id:
+            raise ValueError(f"request {request.request_id} already pending")
+        self._requests.append(request)
+        self._by_id[request.request_id] = request
+
+    def oldest(self) -> Optional[Request]:
+        """The request at the head of the list, or ``None`` when empty."""
+        return self._requests[0] if self._requests else None
+
+    def requests_for_tape(self, tape_id: int) -> List[Request]:
+        """Pending requests with a replica on ``tape_id`` (arrival order)."""
+        return [
+            request
+            for request in self._requests
+            if self._catalog.has_replica_on(request.block_id, tape_id)
+        ]
+
+    def candidate_tapes(self) -> Dict[int, List[Request]]:
+        """Map ``tape_id -> pending requests with a replica there``."""
+        by_tape: Dict[int, List[Request]] = {}
+        for request in self._requests:
+            for replica in self._catalog.replicas_of(request.block_id):
+                by_tape.setdefault(replica.tape_id, []).append(request)
+        return by_tape
+
+    def remove_many(self, requests: List[Request]) -> None:
+        """Remove ``requests`` (they have been scheduled for service)."""
+        removing = {request.request_id for request in requests}
+        missing = removing - self._by_id.keys()
+        if missing:
+            raise KeyError(f"requests not pending: {sorted(missing)}")
+        self._requests = [
+            request for request in self._requests if request.request_id not in removing
+        ]
+        for request_id in removing:
+            del self._by_id[request_id]
+
+    def snapshot(self) -> List[Request]:
+        """Copy of the pending requests in arrival order."""
+        return list(self._requests)

@@ -1,0 +1,171 @@
+"""The service list: a retrieval schedule executed as one sweep.
+
+A schedule over one tape is executed in a single *sweep* (paper
+Section 2.2): starting from the head position at sweep start, a *forward
+phase* reads the scheduled blocks at or above the head in ascending
+position order, then a *reverse phase* reads the remaining blocks in
+descending order.  Dynamic schedulers may insert newly arrived requests
+into the part of the sweep the head has not yet passed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..workload.requests import Request
+
+
+@dataclass
+class ServiceEntry:
+    """One block read in the sweep; coalesces all requests for that block."""
+
+    position_mb: float
+    block_id: int
+    requests: List[Request] = field(default_factory=list)
+
+    def attach(self, request: Request) -> None:
+        """Coalesce another request onto this scheduled read."""
+        self.requests.append(request)
+
+
+class SweepPhase(enum.Enum):
+    """Which part of the sweep the head is currently executing."""
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+    DONE = "done"
+
+
+class ServiceList:
+    """A sweep-ordered schedule with on-the-fly insertion support.
+
+    Invariants:
+
+    * the forward phase holds entries at positions ``>= start_head_mb``
+      in ascending order; the reverse phase holds entries below the start
+      head in descending order;
+    * an insertion never lands at or behind the sweep's progress: once a
+      forward read at position ``q`` has started, forward insertions must
+      be strictly above ``q``; once the reverse phase has started, forward
+      insertions are rejected and reverse insertions must be strictly
+      below the last started reverse position.
+    """
+
+    def __init__(self, entries: List[ServiceEntry], head_mb: float) -> None:
+        self.start_head_mb = float(head_mb)
+        self._forward: List[ServiceEntry] = sorted(
+            (entry for entry in entries if entry.position_mb >= head_mb),
+            key=lambda entry: entry.position_mb,
+        )
+        self._reverse: List[ServiceEntry] = sorted(
+            (entry for entry in entries if entry.position_mb < head_mb),
+            key=lambda entry: -entry.position_mb,
+        )
+        self._in_flight: Optional[ServiceEntry] = None
+        #: Position of the deepest forward read started (sweep progress).
+        self._forward_bound: Optional[float] = None
+        #: Position of the deepest reverse read started.
+        self._reverse_bound: Optional[float] = None
+        self._reverse_started = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._forward) + len(self._reverse)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no reads remain to be started."""
+        return not self._forward and not self._reverse
+
+    @property
+    def in_flight(self) -> Optional[ServiceEntry]:
+        """The entry currently being read, if any."""
+        return self._in_flight
+
+    @property
+    def phase(self) -> SweepPhase:
+        """The phase the *next* pop will execute in."""
+        if self._forward:
+            return SweepPhase.FORWARD
+        if self._reverse:
+            return SweepPhase.REVERSE
+        return SweepPhase.DONE
+
+    def remaining(self) -> List[ServiceEntry]:
+        """Entries not yet started, in execution order."""
+        return list(self._forward) + list(self._reverse)
+
+    def remaining_positions(self) -> List[float]:
+        """Positions of not-yet-started entries, in execution order."""
+        return [entry.position_mb for entry in self.remaining()]
+
+    def find_block(self, block_id: int) -> Optional[ServiceEntry]:
+        """A not-yet-started entry for ``block_id``, or ``None``."""
+        for entry in self._forward:
+            if entry.block_id == block_id:
+                return entry
+        for entry in self._reverse:
+            if entry.block_id == block_id:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def pop_next(self) -> ServiceEntry:
+        """Dequeue the next read and mark it in-flight."""
+        if self._forward:
+            entry = self._forward.pop(0)
+            self._forward_bound = entry.position_mb
+        elif self._reverse:
+            entry = self._reverse.pop(0)
+            self._reverse_started = True
+            self._reverse_bound = entry.position_mb
+        else:
+            raise IndexError("pop from an empty service list")
+        self._in_flight = entry
+        return entry
+
+    def finish_in_flight(self) -> None:
+        """Mark the in-flight read complete."""
+        self._in_flight = None
+
+    # ------------------------------------------------------------------
+    # Insertion (dynamic incremental scheduling)
+    # ------------------------------------------------------------------
+    def can_insert(self, position_mb: float) -> bool:
+        """True if a read at ``position_mb`` is still ahead of the sweep."""
+        if position_mb >= self.start_head_mb:
+            if self._reverse_started:
+                return False  # the sweep will never move forward again
+            if self._forward_bound is None:
+                return True
+            return position_mb > self._forward_bound
+        # Below the sweep's start head: reverse-phase territory.
+        if not self._reverse_started:
+            return True
+        assert self._reverse_bound is not None
+        return position_mb < self._reverse_bound
+
+    def insert(self, entry: ServiceEntry) -> bool:
+        """Insert ``entry`` into the not-yet-executed part of the sweep.
+
+        Returns ``False`` (schedule unchanged) when the head has already
+        passed the entry's position in sweep order.
+        """
+        if not self.can_insert(entry.position_mb):
+            return False
+        if entry.position_mb >= self.start_head_mb:
+            keys = [existing.position_mb for existing in self._forward]
+            index = bisect.bisect_left(keys, entry.position_mb)
+            self._forward.insert(index, entry)
+        else:
+            keys = [-existing.position_mb for existing in self._reverse]
+            index = bisect.bisect_left(keys, -entry.position_mb)
+            self._reverse.insert(index, entry)
+        return True

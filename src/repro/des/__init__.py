@@ -1,0 +1,39 @@
+"""A small discrete-event simulation kernel (substrate).
+
+The paper's evaluation rests on a discrete-event simulator.  This package
+provides the kernel: an :class:`Environment` with a deterministic event
+heap, generator-coroutine :class:`Process` objects, composable events, a
+blocking :class:`Store`, and time-series :class:`Monitor` probes.
+"""
+
+from .environment import EmptySchedule, Environment
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Timeout,
+)
+from .monitor import Monitor
+from .process import Process
+from .queues import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Monitor",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

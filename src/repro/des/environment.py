@@ -1,0 +1,142 @@
+"""The simulation environment: clock and event scheduler.
+
+The environment keeps a binary heap of ``(time, priority, sequence, event)``
+tuples.  ``sequence`` is a monotonically increasing tie-breaker, so events
+scheduled for the same instant at the same priority run in FIFO order,
+which makes simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+#: Sentinel passed to :meth:`Environment.run` to run until the heap drains.
+UNTIL_EXHAUSTED = None
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires as soon as any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling core
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        """Put ``event`` on the heap ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay!r})")
+        event.triggered = True
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        if not self._heap:
+            raise EmptySchedule()
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = UNTIL_EXHAUSTED) -> Any:
+        """Run the simulation.
+
+        With ``until=None`` run until no events remain.  With a numeric
+        ``until``, run until the clock reaches that time (events scheduled
+        exactly at ``until`` are *not* executed; the clock is left at
+        ``until``).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        limit = float(until)
+        if limit < self._now:
+            raise ValueError(f"until={limit!r} is in the past (now={self._now!r})")
+        while self._heap and self.peek() < limit:
+            self.step()
+        self._now = limit
+        return None
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` has been processed; return its value.
+
+        Raises the event's exception if it failed.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise EmptySchedule(f"event heap drained before {event!r} fired")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

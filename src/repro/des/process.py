@@ -1,0 +1,98 @@
+"""Generator-coroutine processes for the simulation kernel.
+
+A process wraps a generator that yields :class:`~repro.des.events.Event`
+objects.  Each yield suspends the process until the yielded event fires;
+the event's value is sent back into the generator (or its exception thrown
+in).  When the generator returns, the process event itself succeeds with
+the return value, so processes can wait on one another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, Interrupt, PRIORITY_URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current instant, before pending
+        # same-time timeouts, so initialization happens "now".
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        self._waiting_on = bootstrap
+        bootstrap.add_callback(self._resume)
+        env.schedule(bootstrap, delay=0.0, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The event the process was waiting on is abandoned (its value is
+        discarded when it eventually fires).
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._interrupt = True  # marker checked in _resume
+        wakeup.add_callback(self._resume)
+        self.env.schedule(wakeup, delay=0.0, priority=PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        if self.triggered:
+            return  # process already finished (e.g. interrupt raced the end)
+        is_interrupt = getattr(event, "_interrupt", False)
+        if not is_interrupt:
+            if event is not self._waiting_on:
+                return  # stale wakeup from an abandoned event
+        self._waiting_on = None
+
+        env = self.env
+        previous_active = env._active_process
+        env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = previous_active
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except BaseException as exc:
+            env._active_process = previous_active
+            if not self.callbacks:
+                # Nobody is waiting on this process: propagate the crash out
+                # of Environment.run() instead of swallowing it silently.
+                raise
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        env._active_process = previous_active
+
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield Event instances"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,97 @@
+"""Blocking FIFO store for inter-process communication.
+
+Used by the service model to hand arriving requests to the drive process:
+``put`` never blocks, ``get`` returns an event that fires once an item is
+available (immediately if the store is non-empty).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+
+class Resource:
+    """A counting semaphore for mutually exclusive hardware (e.g. the
+    robot arm shared by the drives of a multi-drive jukebox).
+
+    ``acquire`` returns an event that fires when a slot is granted;
+    ``release`` hands the slot to the oldest waiter, if any.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def waiting(self) -> int:
+        """Number of blocked acquirers."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event firing once a slot is held by the caller."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Give up one held slot."""
+        if self._in_use <= 0:
+            raise RuntimeError("release without a matching acquire")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()  # slot transfers directly to the waiter
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO store of items with blocking ``get``."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

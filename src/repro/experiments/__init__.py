@@ -1,0 +1,34 @@
+"""Evaluation harness: configs, runs, sweeps, and figure regeneration."""
+
+from .config import DEFAULT_HORIZON_S, ExperimentConfig
+from .figures import FIGURES, FigureData
+from .replications import ReplicationReport, replicate, significantly_better
+from .runner import ExperimentResult, build_simulator, run_experiment
+from .store import load_results, save_results
+from .sweeps import (
+    CurvePoint,
+    PAPER_QUEUE_LENGTHS,
+    curve_family,
+    interarrival_sweep,
+    queue_sweep,
+)
+
+__all__ = [
+    "CurvePoint",
+    "DEFAULT_HORIZON_S",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FIGURES",
+    "FigureData",
+    "PAPER_QUEUE_LENGTHS",
+    "ReplicationReport",
+    "build_simulator",
+    "curve_family",
+    "interarrival_sweep",
+    "load_results",
+    "queue_sweep",
+    "replicate",
+    "run_experiment",
+    "save_results",
+    "significantly_better",
+]

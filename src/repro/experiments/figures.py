@@ -1,0 +1,323 @@
+"""One function per paper figure: regenerate the plotted series.
+
+Every function returns a :class:`FigureData`: labelled series of points
+matching what the paper plots.  ``horizon_s`` and ``queue_lengths``
+default to values that finish quickly; crank them up (the paper used
+10 million simulated seconds) for tighter estimates — the shapes are
+stable well below that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.costperf import cost_performance_curve, expansion_table
+from ..layout.placement import Layout
+from .config import ExperimentConfig
+from .runner import run_experiment
+from .sweeps import CurvePoint, PAPER_QUEUE_LENGTHS, curve_family, queue_sweep
+
+#: Default simulated horizon for figure regeneration (seconds).
+FIGURE_HORIZON_S = 400_000.0
+
+
+@dataclass
+class FigureData:
+    """A figure's regenerated data: labelled series of plotted points."""
+
+    figure: str
+    title: str
+    annotation: str
+    series: Dict[str, List] = field(default_factory=dict)
+
+    def labels(self) -> List[str]:
+        """Series labels in insertion order."""
+        return list(self.series)
+
+
+def _base(horizon_s: float, **overrides) -> ExperimentConfig:
+    return ExperimentConfig(horizon_s=horizon_s, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: the effect of transfer size
+# ----------------------------------------------------------------------
+def figure3(
+    horizon_s: float = FIGURE_HORIZON_S,
+    block_sizes_mb: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
+    queue_lengths: Sequence[int] = (20, 60, 100, 140),
+) -> FigureData:
+    """Throughput (KB/s) vs I/O transfer size, one curve per queue length.
+
+    Paper setting: PH-10 RH-40 NR-0 SP-0, dynamic max-bandwidth.
+    """
+    data = FigureData(
+        figure="3",
+        title="The Effect of Transfer Size",
+        annotation="PH-10 RH-40 NR-0 SP-0 dynamic-max-bandwidth",
+    )
+    for queue_length in queue_lengths:
+        points: List[Tuple[float, float]] = []
+        for block_mb in block_sizes_mb:
+            result = run_experiment(
+                _base(
+                    horizon_s,
+                    scheduler="dynamic-max-bandwidth",
+                    block_mb=float(block_mb),
+                    queue_length=queue_length,
+                )
+            )
+            points.append((float(block_mb), result.throughput_kb_s))
+        data.series[f"Q-{queue_length}"] = points
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 4: scheduling algorithms, no replication
+# ----------------------------------------------------------------------
+FIGURE4_ALGORITHMS = (
+    "fifo",
+    "static-round-robin",
+    "static-max-requests",
+    "static-max-bandwidth",
+    "static-oldest-max-bandwidth",
+    "dynamic-round-robin",
+    "dynamic-max-requests",
+    "dynamic-max-bandwidth",
+    "dynamic-oldest-max-bandwidth",
+)
+
+
+def figure4(
+    horizon_s: float = FIGURE_HORIZON_S,
+    algorithms: Sequence[str] = FIGURE4_ALGORITHMS,
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay parametric curves for nine algorithms (NR-0)."""
+    data = FigureData(
+        figure="4",
+        title="Relative Performance of Scheduling Algorithms (No Replication)",
+        annotation="PH-10 RH-40 NR-0 SP-0",
+    )
+    bases = {
+        algorithm: _base(horizon_s, scheduler=algorithm) for algorithm in algorithms
+    }
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 5: placement of hot data, no replication
+# ----------------------------------------------------------------------
+def figure5(
+    horizon_s: float = FIGURE_HORIZON_S,
+    start_positions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay as hot data placement varies (NR-0), plus vertical."""
+    data = FigureData(
+        figure="5",
+        title="Throughput and Latency as a Function of Hot Data Placement "
+        "(No Replication)",
+        annotation="PH-10 RH-40 NR-0 dynamic-max-bandwidth",
+    )
+    bases: Dict[str, ExperimentConfig] = {}
+    for start_position in start_positions:
+        bases[f"SP-{start_position:g}"] = _base(
+            horizon_s, start_position=start_position
+        )
+    bases["vertical"] = _base(horizon_s, layout=Layout.VERTICAL)
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 6: number of replicas of hot data
+# ----------------------------------------------------------------------
+def figure6(
+    horizon_s: float = FIGURE_HORIZON_S,
+    replica_counts: Sequence[int] = (0, 1, 2, 4, 6, 9),
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay as the number of replicas varies (vertical, SP-1)."""
+    data = FigureData(
+        figure="6",
+        title="Throughput and Latency as a Function of Number of Replicas "
+        "of Hot Data",
+        annotation="PH-10 RH-40 SP-1.0 vertical dynamic-max-bandwidth",
+    )
+    bases = {
+        f"NR-{replicas}": _base(
+            horizon_s,
+            layout=Layout.VERTICAL,
+            replicas=replicas,
+            start_position=1.0 if replicas else 0.0,
+        )
+        for replicas in replica_counts
+    }
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 7: placement of replicas
+# ----------------------------------------------------------------------
+def figure7(
+    horizon_s: float = FIGURE_HORIZON_S,
+    start_positions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay as replica placement varies under full replication."""
+    data = FigureData(
+        figure="7",
+        title="Throughput and Latency as a Function of Replica Placement",
+        annotation="PH-10 RH-40 NR-9 vertical dynamic-max-bandwidth",
+    )
+    bases = {
+        f"SP-{start_position:g}": _base(
+            horizon_s,
+            layout=Layout.VERTICAL,
+            replicas=9,
+            start_position=start_position,
+        )
+        for start_position in start_positions
+    }
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 8: scheduling algorithms with replication
+# ----------------------------------------------------------------------
+FIGURE8_ALGORITHMS = (
+    "static-max-bandwidth",
+    "dynamic-max-requests",
+    "dynamic-max-bandwidth",
+    "envelope-oldest-max-requests",
+    "envelope-max-requests",
+    "envelope-max-bandwidth",
+)
+
+
+def figure8(
+    horizon_s: float = FIGURE_HORIZON_S,
+    algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay curves under full replication (envelope vs rest)."""
+    data = FigureData(
+        figure="8",
+        title="Relative Performance of Scheduling Algorithms With Replication",
+        annotation="PH-10 RH-40 NR-9 SP-1.0 vertical",
+    )
+    bases = {
+        algorithm: _base(
+            horizon_s,
+            scheduler=algorithm,
+            layout=Layout.VERTICAL,
+            replicas=9,
+            start_position=1.0,
+        )
+        for algorithm in algorithms
+    }
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 9: importance of skew
+# ----------------------------------------------------------------------
+def figure9(
+    horizon_s: float = FIGURE_HORIZON_S,
+    skews: Sequence[float] = (20.0, 40.0, 60.0, 80.0),
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> FigureData:
+    """Throughput/delay vs skew, replicated (solid) and not (dotted).
+
+    Best placements per the earlier figures: SP-0 for no replication,
+    SP-1.0 for full replication; best algorithm (max-bandwidth envelope).
+    """
+    data = FigureData(
+        figure="9",
+        title="The Relationship Between Skew and Performance Improvements",
+        annotation="PH-10 envelope-max-bandwidth",
+    )
+    bases: Dict[str, ExperimentConfig] = {}
+    for skew in skews:
+        bases[f"RH-{skew:g} NR-0"] = _base(
+            horizon_s,
+            scheduler="envelope-max-bandwidth",
+            percent_requests_hot=skew,
+            replicas=0,
+            start_position=0.0,
+        )
+        bases[f"RH-{skew:g} NR-9"] = _base(
+            horizon_s,
+            scheduler="envelope-max-bandwidth",
+            percent_requests_hot=skew,
+            layout=Layout.VERTICAL,
+            replicas=9,
+            start_position=1.0,
+        )
+    data.series = curve_family(bases, queue_lengths)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 10: cost effectiveness of replication
+# ----------------------------------------------------------------------
+def figure10a(
+    replica_counts: Sequence[int] = tuple(range(10)),
+    percent_hot_values: Sequence[float] = (5.0, 10.0, 20.0, 30.0),
+) -> FigureData:
+    """Expansion factor E = 1 + NR * PH / 100 (analytic)."""
+    data = FigureData(
+        figure="10a",
+        title="Storage Expansion Factor",
+        annotation="E = 1 + NR x PH / 100",
+    )
+    for percent_hot, row in expansion_table(replica_counts, percent_hot_values).items():
+        data.series[f"PH-{percent_hot:g}"] = row
+    return data
+
+
+def figure10b(
+    horizon_s: float = FIGURE_HORIZON_S,
+    skews: Sequence[float] = (20.0, 40.0, 60.0, 80.0),
+    replica_counts: Sequence[int] = (0, 1, 2, 4, 6, 9),
+    base_queue_length: int = 60,
+) -> FigureData:
+    """Cost-performance ratio of replication vs none, per skew.
+
+    The replicated farm needs E times more jukeboxes for the same data,
+    so each jukebox sees the base workload scaled down by 1/E (paper
+    Section 4.8): queue length ``round(60 / E)``.
+    """
+    data = FigureData(
+        figure="10b",
+        title="Cost-Performance of Replication",
+        annotation=f"PH-10 SP-1.0 vertical, queue {base_queue_length}/E",
+    )
+    for skew in skews:
+        data.series[f"RH-{skew:g}"] = cost_performance_curve(
+            horizon_s=horizon_s,
+            percent_requests_hot=skew,
+            replica_counts=replica_counts,
+            base_queue_length=base_queue_length,
+        )
+    return data
+
+
+#: Registry used by the CLI: figure id -> generator function.
+FIGURES = {
+    "3": figure3,
+    "4": figure4,
+    "5": figure5,
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10a": figure10a,
+    "10b": figure10b,
+}

@@ -1,0 +1,116 @@
+"""Single-experiment executor: config in, metrics out."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.registry import make_scheduler
+from ..des import Environment
+from ..layout.placement import PlacementSpec, build_catalog
+from ..layout.validate import validate_catalog
+from ..service.metrics import MetricsCollector, MetricsReport
+from ..service.simulator import JukeboxSimulator
+from ..tape.jukebox import Jukebox
+from ..tape.timing import EXB_8505XL
+from ..workload.closed import ClosedSource
+from ..workload.open import OpenSource
+from ..workload.skew import HotColdSkew
+from .config import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A config together with its measured steady-state metrics."""
+
+    config: ExperimentConfig
+    report: MetricsReport
+
+    @property
+    def throughput_kb_s(self) -> float:
+        """Steady-state throughput in KB/s."""
+        return self.report.throughput_kb_s
+
+    @property
+    def requests_per_min(self) -> float:
+        """Steady-state completion rate."""
+        return self.report.requests_per_min
+
+    @property
+    def mean_response_s(self) -> float:
+        """Steady-state mean delay in seconds."""
+        return self.report.mean_response_s
+
+
+def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
+    """Assemble (but do not run) the simulator for ``config``."""
+    if config.drive_technology == "serpentine":
+        from ..tape.serpentine import DLT_STYLE
+
+        timing = DLT_STYLE
+    else:
+        timing = EXB_8505XL
+    if config.drive_speedup != 1.0:
+        timing = timing.scaled(config.drive_speedup)
+    spec = PlacementSpec(
+        layout=config.layout,
+        percent_hot=config.percent_hot,
+        replicas=config.replicas,
+        start_position=config.start_position,
+        block_mb=config.block_mb,
+        pack_cold=config.pack_cold,
+    )
+    catalog = build_catalog(
+        spec, config.tape_count, config.capacity_mb, data_blocks=config.data_blocks
+    )
+    validate_catalog(
+        catalog, config.tape_count, config.capacity_mb, expected_replicas=config.replicas
+    )
+    rng = random.Random(config.seed)
+    if config.zipf_theta is not None:
+        from ..workload.zipf import ZipfSkew
+
+        skew = ZipfSkew(theta=config.zipf_theta)
+    else:
+        skew = HotColdSkew(percent_requests_hot=config.percent_requests_hot)
+    if config.is_closed:
+        source = ClosedSource(config.queue_length, skew, catalog, rng)
+    else:
+        source = OpenSource(config.mean_interarrival_s, skew, catalog, rng)
+    metrics = MetricsCollector(block_mb=config.block_mb, warmup_s=config.warmup_s)
+    env = Environment()
+
+    if config.drive_count > 1:
+        from ..service.multidrive import MultiDriveSimulator
+
+        return MultiDriveSimulator(
+            env=env,
+            catalog=catalog,
+            source=source,
+            metrics=metrics,
+            scheduler_factory=lambda: make_scheduler(config.scheduler),
+            drive_count=config.drive_count,
+            tape_count=config.tape_count,
+            capacity_mb=config.capacity_mb,
+            timing=timing,
+        )
+
+    jukebox = Jukebox.build(
+        tape_count=config.tape_count, capacity_mb=config.capacity_mb, timing=timing
+    )
+    scheduler = make_scheduler(config.scheduler)
+    return JukeboxSimulator(
+        env=env,
+        jukebox=jukebox,
+        catalog=catalog,
+        scheduler=scheduler,
+        source=source,
+        metrics=metrics,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one simulation to its horizon and collect steady-state metrics."""
+    simulator = build_simulator(config)
+    report = simulator.run(config.horizon_s)
+    return ExperimentResult(config=config, report=report)

@@ -1,0 +1,59 @@
+"""Persistence of experiment results as JSON.
+
+Long parameter sweeps are expensive; storing results lets analyses and
+documents (EXPERIMENTS.md) be regenerated without re-simulating.  The
+format is a stable, versioned JSON document: the config's fields plus
+the metric report's fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..layout.placement import Layout
+from ..service.metrics import MetricsReport
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+#: Format version; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-ready dict of one experiment result."""
+    config = dataclasses.asdict(result.config)
+    config["layout"] = result.config.layout.value
+    return {
+        "version": FORMAT_VERSION,
+        "config": config,
+        "report": dataclasses.asdict(result.report),
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a stored dict."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    config_fields = dict(payload["config"])
+    config_fields["layout"] = Layout(config_fields["layout"])
+    config = ExperimentConfig(**config_fields)
+    report = MetricsReport(**payload["report"])
+    return ExperimentResult(config=config, report=report)
+
+
+def save_results(results: List[ExperimentResult], path: Union[str, Path]) -> None:
+    """Write results to ``path`` as a JSON array."""
+    documents = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(documents, indent=2, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Read results previously written by :func:`save_results`."""
+    documents = json.loads(Path(path).read_text())
+    if not isinstance(documents, list):
+        raise ValueError("result file must contain a JSON array")
+    return [result_from_dict(document) for document in documents]

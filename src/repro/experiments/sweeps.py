@@ -1,0 +1,82 @@
+"""Parametric sweeps: families of runs traced by workload intensity.
+
+Most of the paper's graphs are *parametric*: the independent variable
+(queue length) is not on either axis; as it grows it traces a curve in
+(throughput, delay) space, and a second variable (algorithm, placement,
+skew, ...) yields a family of curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+
+#: The paper's queue lengths: plotted points 20, 40, ..., 140.
+PAPER_QUEUE_LENGTHS = (20, 40, 60, 80, 100, 120, 140)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One plotted point of a parametric curve."""
+
+    intensity: float
+    throughput_kb_s: float
+    requests_per_min: float
+    mean_response_s: float
+    tape_switches_per_hour: float
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "CurvePoint":
+        """Extract the plotted quantities from a finished run."""
+        config, report = result.config, result.report
+        intensity = (
+            float(config.queue_length)
+            if config.is_closed
+            else 1.0 / config.mean_interarrival_s
+        )
+        return cls(
+            intensity=intensity,
+            throughput_kb_s=report.throughput_kb_s,
+            requests_per_min=report.requests_per_min,
+            mean_response_s=report.mean_response_s,
+            tape_switches_per_hour=report.switches_per_hour,
+        )
+
+
+def queue_sweep(
+    base: ExperimentConfig,
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> List[CurvePoint]:
+    """Trace one closed-queueing parametric curve over ``queue_lengths``."""
+    points = []
+    for queue_length in queue_lengths:
+        result = run_experiment(base.with_(queue_length=queue_length))
+        points.append(CurvePoint.from_result(result))
+    return points
+
+
+def interarrival_sweep(
+    base: ExperimentConfig,
+    interarrivals_s: Sequence[float],
+) -> List[CurvePoint]:
+    """Trace one open-queueing curve over mean interarrival times."""
+    points = []
+    for interarrival_s in interarrivals_s:
+        result = run_experiment(
+            base.with_(queue_length=None, mean_interarrival_s=interarrival_s)
+        )
+        points.append(CurvePoint.from_result(result))
+    return points
+
+
+def curve_family(
+    bases: Dict[str, ExperimentConfig],
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> Dict[str, List[CurvePoint]]:
+    """One labelled parametric curve per base config."""
+    return {
+        label: queue_sweep(base, queue_lengths) for label, base in bases.items()
+    }

@@ -1,0 +1,13 @@
+"""Storage hierarchy tier: memory and disk caches above the jukebox."""
+
+from .cache import LRUCache
+from .disk import DiskModel, MemoryModel
+from .simulator import HierarchySimulator, TierStats
+
+__all__ = [
+    "DiskModel",
+    "HierarchySimulator",
+    "LRUCache",
+    "MemoryModel",
+    "TierStats",
+]

@@ -1,0 +1,67 @@
+"""LRU block caches for the memory and disk tiers.
+
+The paper's introduction positions tape jukeboxes at the bottom of a
+hierarchy: "hot data are placed or cached in semiconductor memory, and
+warm data are on magnetic disks" — the jukebox holds relatively cold
+data.  These caches model the upper tiers so the whole hierarchy can be
+simulated end to end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class LRUCache:
+    """Fixed-capacity least-recently-used cache of logical block ids."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_blocks!r}")
+        self.capacity_blocks = capacity_blocks
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._entries
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def access(self, block_id: int) -> bool:
+        """Look up ``block_id``; True on hit (and refresh its recency)."""
+        if block_id in self._entries:
+            self._entries.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, block_id: int) -> Optional[int]:
+        """Add ``block_id`` as most-recent; return the evicted id, if any.
+
+        Inserting an already-cached block refreshes it (no eviction).
+        A zero-capacity cache rejects everything.
+        """
+        if self.capacity_blocks == 0:
+            return None
+        if block_id in self._entries:
+            self._entries.move_to_end(block_id)
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity_blocks:
+            evicted, _none = self._entries.popitem(last=False)
+        self._entries[block_id] = None
+        return evicted
+
+    def contents(self) -> list:
+        """Cached block ids, least-recent first."""
+        return list(self._entries)

@@ -1,0 +1,41 @@
+"""A simple magnetic-disk service model for the warm tier.
+
+Mid-1990s commodity disk figures: ~10 ms average positioning and a
+sequential transfer rate in the tens of MB/s.  The warm tier serves
+whole logical blocks (the same 16 MB unit the jukebox uses), so
+transfer dominates; the model is deliberately simple — the hierarchy
+experiments care about the *orders of magnitude* between tiers (memory
+microseconds, disk hundreds of milliseconds, tape minutes), not disk
+microbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Seek + rotational overhead plus streaming transfer."""
+
+    positioning_s: float = 0.010
+    transfer_mb_s: float = 40.0
+
+    def service_s(self, size_mb: float) -> float:
+        """Seconds to deliver ``size_mb`` MB from disk."""
+        if size_mb < 0:
+            raise ValueError(f"size must be >= 0, got {size_mb!r}")
+        return self.positioning_s + size_mb / self.transfer_mb_s
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Semiconductor-memory tier: effectively instantaneous at this scale."""
+
+    service_s_per_request: float = 0.0002
+
+    def service_s(self, size_mb: float) -> float:
+        """Seconds to deliver a block from memory (size-independent here)."""
+        if size_mb < 0:
+            raise ValueError(f"size must be >= 0, got {size_mb!r}")
+        return self.service_s_per_request

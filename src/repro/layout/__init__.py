@@ -1,0 +1,27 @@
+"""Data placement and replication substrate."""
+
+from .catalog import BlockCatalog, Replica
+from .lifecycle import LifecyclePlanner, LifecycleStage, StagePlan
+from .placement import (
+    Layout,
+    PlacementSpec,
+    build_catalog,
+    expansion_factor,
+    logical_block_budget,
+)
+from .validate import LayoutError, validate_catalog
+
+__all__ = [
+    "BlockCatalog",
+    "LifecyclePlanner",
+    "LifecycleStage",
+    "StagePlan",
+    "Layout",
+    "LayoutError",
+    "PlacementSpec",
+    "Replica",
+    "build_catalog",
+    "expansion_factor",
+    "logical_block_budget",
+    "validate_catalog",
+]

@@ -1,0 +1,152 @@
+"""The paper's jukebox-filling lifecycle (Section 4.8, final paragraphs).
+
+The paper closes its evaluation with an operational recommendation for
+gradually filling a jukebox:
+
+1. **Filling** — dedicate one tape to the hottest ~10% of data (the
+   vertical layout is preferred); fill the other tapes only part way
+   with original data, and *append replicas of hot data to the tape
+   ends* when convenient.  The spare capacity improves performance
+   "for free".
+2. **Nearing overflow** — overwrite the dedicated hot tape with base
+   data: a horizontal layout with full replication is nearly as good
+   as a vertical one, so little performance is lost.
+3. **Recapture** — reclaim the space the replicas occupy at the tape
+   ends by overwriting them with base data, degrading gracefully to
+   the plain unreplicated layout (hot data at tape beginnings).
+
+:class:`LifecyclePlanner` turns a data volume and hot fraction into the
+concrete :class:`~repro.layout.placement.PlacementSpec` for each stage,
+choosing the replica count that still fits, so the paper's
+recommendation is executable end to end (see
+``benchmarks/bench_lifecycle.py`` for the performance at each stage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .placement import Layout, PlacementSpec
+
+
+class LifecycleStage(enum.Enum):
+    """Stages of the paper's filling recommendation."""
+
+    FILLING = "filling"
+    NEAR_OVERFLOW = "near-overflow"
+    RECAPTURED = "recaptured"
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """The layout chosen for one lifecycle stage."""
+
+    stage: LifecycleStage
+    spec: PlacementSpec
+    #: Fraction of physical slots occupied by base (non-replica) data.
+    base_utilization: float
+    #: Replicas per hot block the plan managed to fit.
+    replicas: int
+
+
+class LifecyclePlanner:
+    """Plans layouts as a jukebox fills (paper Section 4.8)."""
+
+    def __init__(
+        self,
+        tape_count: int,
+        capacity_mb: float,
+        block_mb: float = 16.0,
+        percent_hot: float = 10.0,
+    ) -> None:
+        if tape_count < 2:
+            raise ValueError("a lifecycle needs at least 2 tapes")
+        if not 0.0 < percent_hot <= 100.0:
+            raise ValueError(f"percent_hot must be in (0, 100], got {percent_hot!r}")
+        self.tape_count = tape_count
+        self.capacity_mb = capacity_mb
+        self.block_mb = block_mb
+        self.percent_hot = percent_hot
+        self.slots_per_tape = int(capacity_mb // block_mb)
+        self.total_slots = tape_count * self.slots_per_tape
+
+    # ------------------------------------------------------------------
+    def max_replicas_for(self, data_blocks: int) -> int:
+        """Most replicas per hot block that fit beside ``data_blocks``.
+
+        Constrained by spare capacity (``NR * n_hot`` replica slots must
+        fit) and by the placement rule of one copy per tape
+        (``NR + 1 <= tape_count``).
+        """
+        if data_blocks <= 0:
+            raise ValueError(f"data_blocks must be positive, got {data_blocks!r}")
+        if data_blocks > self.total_slots:
+            raise ValueError(
+                f"{data_blocks} blocks exceed the jukebox's {self.total_slots} slots"
+            )
+        n_hot = max(1, round(data_blocks * self.percent_hot / 100.0))
+        spare = self.total_slots - data_blocks
+        by_capacity = spare // n_hot
+        by_tapes = self.tape_count - 1
+        return max(0, min(by_capacity, by_tapes))
+
+    def stage_of(self, data_blocks: int) -> LifecycleStage:
+        """Which lifecycle stage a data volume lands in.
+
+        Filling while spare capacity still allows at least one replica
+        of every hot block; near-overflow once replicas no longer fit
+        but some spare slots remain; recaptured when the jukebox is
+        completely full (every replica slot overwritten with base data).
+        """
+        if self.max_replicas_for(data_blocks) >= 1:
+            return LifecycleStage.FILLING
+        if data_blocks < self.total_slots:
+            return LifecycleStage.NEAR_OVERFLOW
+        return LifecycleStage.RECAPTURED
+
+    def plan(self, data_blocks: int) -> StagePlan:
+        """The paper-recommended layout for ``data_blocks`` of base data."""
+        stage = self.stage_of(data_blocks)
+        base_utilization = data_blocks / self.total_slots
+        if stage is LifecycleStage.FILLING:
+            replicas = self.max_replicas_for(data_blocks)
+            spec = PlacementSpec(
+                layout=Layout.VERTICAL,       # hottest data on one tape
+                percent_hot=self.percent_hot,
+                replicas=replicas,
+                start_position=1.0,           # replicas appended at tape ends
+                block_mb=self.block_mb,
+            )
+            return StagePlan(stage, spec, base_utilization, replicas)
+        if stage is LifecycleStage.NEAR_OVERFLOW:
+            # Hot tape overwritten with base data: horizontal layout,
+            # keep whatever replication still fits (usually none).
+            replicas = self.max_replicas_for(data_blocks)
+            spec = PlacementSpec(
+                layout=Layout.HORIZONTAL,
+                percent_hot=self.percent_hot,
+                replicas=replicas,
+                start_position=1.0 if replicas else 0.0,
+                block_mb=self.block_mb,
+            )
+            return StagePlan(stage, spec, base_utilization, replicas)
+        # Recaptured: plain unreplicated layout, hot data at beginnings.
+        spec = PlacementSpec(
+            layout=Layout.HORIZONTAL,
+            percent_hot=self.percent_hot,
+            replicas=0,
+            start_position=0.0,
+            block_mb=self.block_mb,
+        )
+        return StagePlan(stage, spec, base_utilization, 0)
+
+    def schedule(self, fill_fractions) -> list:
+        """Plans for a sequence of fill levels (fractions of capacity)."""
+        plans = []
+        for fraction in fill_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"fill fraction {fraction!r} outside (0, 1]")
+            data_blocks = max(1, int(fraction * self.total_slots))
+            plans.append(self.plan(data_blocks))
+        return plans

@@ -1,0 +1,62 @@
+"""Layout invariant checks.
+
+These are the structural facts every catalog must satisfy (paper
+Section 2.2); tests and the experiment runner call them defensively.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .catalog import BlockCatalog
+
+
+class LayoutError(ValueError):
+    """A catalog violates a placement invariant."""
+
+
+def validate_catalog(
+    catalog: BlockCatalog,
+    tape_count: int,
+    capacity_mb: float,
+    expected_replicas: int,
+) -> None:
+    """Raise :class:`LayoutError` unless all placement invariants hold.
+
+    Checks: replica counts (hot blocks have ``1 + NR`` copies, cold blocks
+    exactly one), at most one copy per tape (enforced structurally by the
+    catalog, re-checked here), non-overlapping extents within each tape,
+    and all extents within tape capacity.
+    """
+    for block_id in range(catalog.n_blocks):
+        degree = catalog.replication_degree(block_id)
+        expected = 1 + expected_replicas if catalog.is_hot(block_id) else 1
+        if degree != expected:
+            kind = "hot" if catalog.is_hot(block_id) else "cold"
+            raise LayoutError(
+                f"{kind} block {block_id} has {degree} copies, expected {expected}"
+            )
+        tapes = [replica.tape_id for replica in catalog.replicas_of(block_id)]
+        if len(set(tapes)) != len(tapes):
+            raise LayoutError(f"block {block_id} has two copies on one tape")
+        for replica in catalog.replicas_of(block_id):
+            if not 0 <= replica.tape_id < tape_count:
+                raise LayoutError(
+                    f"block {block_id} placed on nonexistent tape {replica.tape_id}"
+                )
+
+    for tape_id in range(tape_count):
+        extents: List[tuple] = [
+            (position, position + catalog.block_mb)
+            for position, _block in catalog.tape_contents(tape_id)
+        ]
+        extents.sort()
+        for (start, end) in extents:
+            if start < 0 or end > capacity_mb:
+                raise LayoutError(
+                    f"tape {tape_id}: extent [{start}, {end}) outside capacity "
+                    f"{capacity_mb} MB"
+                )
+        for (_s1, e1), (s2, _e2) in zip(extents, extents[1:]):
+            if s2 < e1:
+                raise LayoutError(f"tape {tape_id}: overlapping extents at {s2} MB")

@@ -1,0 +1,16 @@
+"""Terminal and machine-readable reporting helpers."""
+
+from .export import curve_to_csv, figure_to_csv, figure_to_markdown
+from .plot import ascii_scatter, plot_throughput_delay
+from .text import format_figure, format_parametric_series, format_table
+
+__all__ = [
+    "ascii_scatter",
+    "curve_to_csv",
+    "figure_to_csv",
+    "figure_to_markdown",
+    "format_figure",
+    "format_parametric_series",
+    "format_table",
+    "plot_throughput_delay",
+]

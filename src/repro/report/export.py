@@ -1,0 +1,76 @@
+"""Machine-readable exports of figure data: CSV and Markdown.
+
+The text renderer targets terminals; these exporters feed spreadsheets
+and docs.  Both accept the same :class:`~repro.experiments.figures.FigureData`
+objects (series of :class:`~repro.experiments.sweeps.CurvePoint` or of
+``(x, y)`` pairs).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence, Tuple
+
+_CURVE_FIELDS = (
+    ("intensity", "queue"),
+    ("throughput_kb_s", "kb_per_s"),
+    ("requests_per_min", "req_per_min"),
+    ("mean_response_s", "delay_s"),
+    ("tape_switches_per_hour", "switches_per_h"),
+)
+
+
+def _series_rows(points) -> Tuple[List[str], List[List[str]]]:
+    """Normalize a series into (column names, rows of strings)."""
+    if points and hasattr(points[0], "throughput_kb_s"):
+        header = [name for _attr, name in _CURVE_FIELDS]
+        rows = [
+            [repr(getattr(point, attr)) for attr, _name in _CURVE_FIELDS]
+            for point in points
+        ]
+        return header, rows
+    header = ["x", "y"]
+    rows = [[repr(x), repr(y)] for x, y in points]
+    return header, rows
+
+
+def figure_to_csv(figure_data) -> str:
+    """Flatten a figure to CSV with a leading ``series`` column."""
+    buffer = io.StringIO()
+    wrote_header = False
+    for label, points in figure_data.series.items():
+        header, rows = _series_rows(points)
+        if not wrote_header:
+            buffer.write(",".join(["series"] + header) + "\n")
+            wrote_header = True
+        for row in rows:
+            buffer.write(",".join([label] + row) + "\n")
+    return buffer.getvalue()
+
+
+def figure_to_markdown(figure_data) -> str:
+    """Render a figure as Markdown tables, one per series."""
+    lines = [
+        f"### Figure {figure_data.figure}: {figure_data.title}",
+        "",
+        f"*{figure_data.annotation}*",
+        "",
+    ]
+    for label, points in figure_data.series.items():
+        header, rows = _series_rows(points)
+        lines.append(f"**{label}**")
+        lines.append("")
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _column in header) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def curve_to_csv(label: str, points) -> str:
+    """One series to CSV (no ``series`` column)."""
+    header, rows = _series_rows(points)
+    out = [",".join(header)]
+    out.extend(",".join(row) for row in rows)
+    return "\n".join(out) + "\n"

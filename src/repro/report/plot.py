@@ -1,0 +1,77 @@
+"""ASCII scatter plots for parametric curves.
+
+The paper's key graphs are throughput-vs-delay parametric curves.  This
+renderer draws labelled series on a character grid so figure shapes can
+be eyeballed straight from the terminal — no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Characters assigned to series, in order.
+_MARKERS = "ox+*#@%&$~"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(position * (cells - 1) + 0.5)))
+
+
+def ascii_scatter(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot ``label -> [(x, y), ...]`` series on a character grid."""
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    points = [point for curve in series.values() for point in curve]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _row in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in curve:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = [f"{y_label} ({y_low:.3g} .. {y_high:.3g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_low:.3g} .. {x_high:.3g})")
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_throughput_delay(figure_data, width: int = 64, height: int = 20) -> str:
+    """Render a figure's CurvePoint series as a throughput/delay plot."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for label, points in figure_data.series.items():
+        if points and hasattr(points[0], "throughput_kb_s"):
+            series[label] = [
+                (point.throughput_kb_s, point.mean_response_s) for point in points
+            ]
+        else:
+            series[label] = [(float(x), float(y)) for x, y in points]
+    return ascii_scatter(
+        series,
+        width=width,
+        height=height,
+        x_label="throughput KB/s",
+        y_label="mean delay s",
+    )

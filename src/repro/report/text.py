@@ -1,0 +1,77 @@
+"""Plain-text rendering of figure data: aligned tables for the terminal.
+
+The benchmarks print these tables so the regenerated series can be read
+directly next to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` with right-aligned columns."""
+    rendered: List[List[str]] = [[str(header) for header in headers]]
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(rendered_row[column]) for rendered_row in rendered)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, rendered_row in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(rendered_row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_parametric_series(label: str, points) -> str:
+    """Render one parametric curve (CurvePoint list) as a table block."""
+    rows = [
+        (
+            int(point.intensity),
+            point.throughput_kb_s,
+            point.requests_per_min,
+            point.mean_response_s,
+            point.tape_switches_per_hour,
+        )
+        for point in points
+    ]
+    table = format_table(
+        ("queue", "KB/s", "req/min", "delay_s", "switch/h"),
+        rows,
+        float_format="{:.2f}",
+    )
+    return f"--- {label} ---\n{table}"
+
+
+def format_figure(figure_data) -> str:
+    """Render a whole :class:`FigureData` for terminal output."""
+    lines = [
+        f"Figure {figure_data.figure}: {figure_data.title}",
+        f"[{figure_data.annotation}]",
+        "",
+    ]
+    for label, points in figure_data.series.items():
+        if points and hasattr(points[0], "throughput_kb_s"):
+            lines.append(format_parametric_series(label, points))
+        else:
+            rows = list(points)
+            lines.append(
+                f"--- {label} ---\n"
+                + format_table(("x", "y"), rows, float_format="{:.4f}")
+            )
+        lines.append("")
+    return "\n".join(lines)

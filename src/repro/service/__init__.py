@@ -1,0 +1,24 @@
+"""The paper's service model wired into the simulation kernel."""
+
+from .metrics import KB, MB, MetricsCollector, MetricsReport
+from .farm import FarmReport, run_farm
+from .multidrive import MultiDriveSimulator
+from .oplog import OpKind, Operation, OperationLog
+from .simulator import JukeboxSimulator
+from .writeback import DeltaBuffer, WritebackSimulator
+
+__all__ = [
+    "DeltaBuffer",
+    "FarmReport",
+    "JukeboxSimulator",
+    "KB",
+    "MB",
+    "MetricsCollector",
+    "MetricsReport",
+    "MultiDriveSimulator",
+    "OpKind",
+    "Operation",
+    "OperationLog",
+    "WritebackSimulator",
+    "run_farm",
+]

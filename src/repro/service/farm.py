@@ -1,0 +1,100 @@
+"""Farms of independent jukeboxes (paper Section 4.8).
+
+The paper's cost-performance argument assumes "the total workload
+applied to a farm is spread evenly over the jukeboxes" and that farms
+grow one jukebox at a time.  This module makes that setup executable:
+``n`` single-drive jukeboxes, each simulated independently with its own
+derived random stream, with the per-jukebox closed-queue population set
+to an even share of the farm's total.
+
+Jukeboxes in a farm share nothing (each has its own drive, tapes, and
+request stream), so they are simulated sequentially in separate
+environments and aggregated — semantically identical to a combined
+simulation and trivially parallelizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from typing import TYPE_CHECKING
+
+from ..rng import derive_seed
+from .metrics import MetricsReport
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a circular runtime import
+    from ..experiments.config import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class FarmReport:
+    """Aggregate metrics of a farm plus the per-jukebox reports."""
+
+    per_jukebox: List[MetricsReport]
+
+    @property
+    def size(self) -> int:
+        """Number of jukeboxes in the farm."""
+        return len(self.per_jukebox)
+
+    @property
+    def aggregate_throughput_kb_s(self) -> float:
+        """Total farm throughput (sum over jukeboxes)."""
+        return sum(report.throughput_kb_s for report in self.per_jukebox)
+
+    @property
+    def aggregate_requests_per_min(self) -> float:
+        """Total farm completion rate."""
+        return sum(report.requests_per_min for report in self.per_jukebox)
+
+    @property
+    def mean_response_s(self) -> float:
+        """Completion-weighted mean response time across the farm."""
+        total_completed = sum(report.completed for report in self.per_jukebox)
+        if total_completed == 0:
+            return 0.0
+        weighted = sum(
+            report.mean_response_s * report.completed for report in self.per_jukebox
+        )
+        return weighted / total_completed
+
+    @property
+    def throughput_per_jukebox_kb_s(self) -> float:
+        """The cost-performance numerator of Section 4.8."""
+        return self.aggregate_throughput_kb_s / self.size
+
+
+def run_farm(
+    base: "ExperimentConfig",
+    jukebox_count: int,
+    total_queue_length: int,
+) -> FarmReport:
+    """Simulate a farm of ``jukebox_count`` identical jukeboxes.
+
+    ``total_queue_length`` is the farm-wide closed population; each
+    jukebox serves an even share (remainders go to the first
+    jukeboxes).  Seeds are derived per jukebox so streams differ but the
+    whole farm stays reproducible from ``base.seed``.
+    """
+    if jukebox_count <= 0:
+        raise ValueError(f"jukebox_count must be positive, got {jukebox_count!r}")
+    if total_queue_length < jukebox_count:
+        raise ValueError(
+            f"total queue {total_queue_length} cannot give every one of "
+            f"{jukebox_count} jukeboxes at least one request"
+        )
+    if not base.is_closed:
+        raise ValueError("farms are defined for the closed-queueing model")
+    from ..experiments.runner import run_experiment  # circular-import guard
+
+    share, remainder = divmod(total_queue_length, jukebox_count)
+    reports: List[MetricsReport] = []
+    for index in range(jukebox_count):
+        queue_length = share + (1 if index < remainder else 0)
+        config = base.with_(
+            queue_length=queue_length,
+            seed=derive_seed(base.seed, f"farm:{index}") % (2**31),
+        )
+        reports.append(run_experiment(config).report)
+    return FarmReport(per_jukebox=reports)

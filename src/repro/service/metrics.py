@@ -1,0 +1,160 @@
+"""Metric collection for jukebox simulations.
+
+Collects the paper's reported quantities — throughput (KB/s and
+requests/minute), mean response time (delay), and tape-switch counts —
+as steady-state averages after a warm-up window, plus diagnostics
+(queue-length trace, drive utilization breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..stats import Histogram, RunningStats, TimeWeightedStats
+from ..workload.requests import Request
+
+#: Bytes per KB for throughput reporting.
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Steady-state summary of one simulation run."""
+
+    measured_s: float
+    completed: int
+    throughput_kb_s: float
+    requests_per_min: float
+    mean_response_s: float
+    p95_response_s: float
+    max_response_s: float
+    tape_switches: int
+    switches_per_hour: float
+    mean_queue_length: float
+    drive_busy_fraction: float
+    arrivals: int
+    total_completed: int
+    #: Mean time spent queued before the delivering read began (0.0
+    #: when the simulator did not supply per-read service durations).
+    mean_waiting_s: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - human-readable aid
+        return (
+            f"throughput {self.throughput_kb_s:8.1f} KB/s | "
+            f"{self.requests_per_min:6.3f} req/min | "
+            f"delay {self.mean_response_s:8.1f} s | "
+            f"switches/h {self.switches_per_hour:6.2f} | "
+            f"queue {self.mean_queue_length:6.1f}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates run metrics; samples before ``warmup_s`` are dropped."""
+
+    def __init__(self, block_mb: float, warmup_s: float = 0.0) -> None:
+        if warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {warmup_s!r}")
+        self.block_mb = block_mb
+        self.warmup_s = warmup_s
+        self.response = RunningStats()
+        self.response_hist = Histogram(bin_width=10.0)
+        #: Time spent queued before the delivering read began.
+        self.waiting = RunningStats()
+        self.queue = TimeWeightedStats()
+        self._outstanding = 0
+        self.completed_after_warmup = 0
+        self.total_completed = 0
+        self.arrivals = 0
+        self.tape_switches = 0
+        self.busy_s_after_warmup = 0.0
+        self._end_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the simulator)
+    # ------------------------------------------------------------------
+    def on_arrival(self, request: Request, now: float) -> None:
+        """A request entered the system."""
+        self.arrivals += 1
+        self._outstanding += 1
+        self.queue.update(now, self._outstanding)
+
+    def on_completion(self, request: Request, now: float, service_s: float = None) -> None:
+        """A request's block was delivered.
+
+        ``service_s``, when provided, is the duration of the physical
+        operation that delivered the block; the remainder of the
+        response time is recorded as queueing/waiting delay.
+        """
+        request.completion_s = now
+        self.total_completed += 1
+        self._outstanding -= 1
+        self.queue.update(now, self._outstanding)
+        if now >= self.warmup_s:
+            self.completed_after_warmup += 1
+            self.response.add(request.response_s)
+            self.response_hist.add(request.response_s)
+            if service_s is not None:
+                self.waiting.add(max(0.0, request.response_s - service_s))
+
+    def on_tape_switch(self, now: float) -> None:
+        """A tape switch completed."""
+        if now >= self.warmup_s:
+            self.tape_switches += 1
+
+    def on_drive_busy(self, start_s: float, duration_s: float) -> None:
+        """The drive performed a timed operation in [start, start+duration)."""
+        end_s = start_s + duration_s
+        overlap = max(0.0, end_s - max(start_s, self.warmup_s))
+        self.busy_s_after_warmup += overlap
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Close the measurement window at time ``now``.
+
+        The drive operation in flight at the horizon was credited for its
+        full duration at start time; clip the busy total to the window so
+        utilization never exceeds 1.
+        """
+        self.queue.finalize(now)
+        self._end_s = now
+        window = max(0.0, now - self.warmup_s)
+        self.busy_s_after_warmup = min(self.busy_s_after_warmup, window)
+
+    def report(self) -> MetricsReport:
+        """Produce the steady-state summary (requires :meth:`finalize`)."""
+        if self._end_s is None:
+            raise RuntimeError("finalize() must be called before report()")
+        measured_s = max(0.0, self._end_s - self.warmup_s)
+        bytes_read = self.completed_after_warmup * self.block_mb * MB
+        throughput_kb_s = bytes_read / KB / measured_s if measured_s > 0 else 0.0
+        requests_per_min = (
+            self.completed_after_warmup / (measured_s / 60.0) if measured_s > 0 else 0.0
+        )
+        switches_per_hour = (
+            self.tape_switches / (measured_s / 3600.0) if measured_s > 0 else 0.0
+        )
+        p95 = (
+            self.response_hist.percentile(0.95)
+            if self.response_hist.count
+            else 0.0
+        )
+        return MetricsReport(
+            measured_s=measured_s,
+            completed=self.completed_after_warmup,
+            throughput_kb_s=throughput_kb_s,
+            requests_per_min=requests_per_min,
+            mean_response_s=self.response.mean,
+            p95_response_s=p95,
+            max_response_s=self.response.maximum,
+            tape_switches=self.tape_switches,
+            switches_per_hour=switches_per_hour,
+            mean_queue_length=self.queue.mean,
+            drive_busy_fraction=(
+                self.busy_s_after_warmup / measured_s if measured_s > 0 else 0.0
+            ),
+            arrivals=self.arrivals,
+            total_completed=self.total_completed,
+            mean_waiting_s=self.waiting.mean,
+        )

@@ -1,0 +1,297 @@
+"""Multi-drive jukebox extension (the paper's stated future work).
+
+The paper studies jukeboxes with a single drive and notes that "future
+work could extend this to multiple drives".  This module provides that
+extension: ``D`` drives share one robot arm, one pool of tapes, and one
+pending list.  Each drive runs the four-step service loop with its own
+scheduler instance; a tape can be mounted in at most one drive at a
+time (drives *claim* tapes), and robot swaps serialize on the shared
+arm (a :class:`~repro.des.Resource`).
+
+Scope: the FIFO, static, and dynamic scheduler families are supported.
+The envelope-extension algorithm plans globally across all tapes and
+would need a redesign to coordinate several drives' envelopes — that
+remains future work here too, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.base import Scheduler, SchedulerContext
+from ..core.envelope import EnvelopeScheduler
+from ..core.pending import PendingList
+from ..core.sweep import ServiceList
+from ..des import Environment, Event, Resource
+from ..layout.catalog import BlockCatalog
+from ..tape.drive import TapeDrive
+from ..tape.tape import TapePool
+from ..tape.timing import DriveTimingModel, EXB_8505XL
+from ..workload.requests import Request
+from .metrics import MetricsCollector, MetricsReport
+
+
+class ClaimFilteredPending(PendingList):
+    """A pending-list view that hides tapes claimed by other drives.
+
+    Schedulers group requests by candidate tape through
+    :meth:`candidate_tapes` / :meth:`requests_for_tape`; filtering here
+    keeps every scheduler family multi-drive-safe without changes.
+    """
+
+    def __init__(self, inner: PendingList, claims: Dict[int, int], drive_index: int) -> None:
+        self._inner = inner
+        self._claims = claims
+        self._drive_index = drive_index
+
+    def _visible(self, tape_id: int) -> bool:
+        owner = self._claims.get(tape_id)
+        return owner is None or owner == self._drive_index
+
+    # Delegate the mutating / arrival-ordered interface.
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __iter__(self):
+        return iter(self._inner)
+
+    def __contains__(self, request: Request) -> bool:
+        return request in self._inner
+
+    @property
+    def catalog(self) -> BlockCatalog:
+        """The shared block catalog."""
+        return self._inner.catalog
+
+    def append(self, request: Request) -> None:
+        """Defer ``request`` to the shared pending list."""
+        self._inner.append(request)
+
+    def remove_many(self, requests: List[Request]) -> None:
+        """Remove scheduled requests from the shared pending list."""
+        self._inner.remove_many(requests)
+
+    def snapshot(self) -> List[Request]:
+        """Arrival-ordered copy (unfiltered; used by envelope only)."""
+        return self._inner.snapshot()
+
+    # Filtered candidate queries.
+    def oldest(self) -> Optional[Request]:
+        """Oldest request servable by a tape visible to this drive."""
+        for request in self._inner:
+            replicas = self.catalog.replicas_of(request.block_id)
+            if any(self._visible(replica.tape_id) for replica in replicas):
+                return request
+        return None
+
+    def requests_for_tape(self, tape_id: int) -> List[Request]:
+        """Pending requests on ``tape_id`` if it is visible, else []."""
+        if not self._visible(tape_id):
+            return []
+        return self._inner.requests_for_tape(tape_id)
+
+    def candidate_tapes(self) -> Dict[int, List[Request]]:
+        """Per-tape pending requests, excluding other drives' claims."""
+        return {
+            tape_id: requests
+            for tape_id, requests in self._inner.candidate_tapes().items()
+            if self._visible(tape_id)
+        }
+
+
+@dataclass
+class DriveView:
+    """The slice of jukebox state one drive's scheduler may see."""
+
+    drive: TapeDrive
+    tape_count: int
+
+    @property
+    def timing(self) -> DriveTimingModel:
+        """Drive timing model."""
+        return self.drive.timing
+
+    @property
+    def mounted_id(self) -> Optional[int]:
+        """Tape mounted in this drive."""
+        return self.drive.mounted_id
+
+    @property
+    def head_mb(self) -> float:
+        """This drive's head position."""
+        return self.drive.head_mb
+
+
+class MultiDriveSimulator:
+    """``D`` drives + one robot arm over a shared tape pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        catalog: BlockCatalog,
+        source,
+        metrics: MetricsCollector,
+        scheduler_factory,
+        drive_count: int = 2,
+        tape_count: int = 10,
+        capacity_mb: float = 7.0 * 1024,
+        timing: DriveTimingModel = EXB_8505XL,
+    ) -> None:
+        if drive_count <= 0:
+            raise ValueError(f"drive_count must be positive, got {drive_count!r}")
+        if drive_count > tape_count:
+            raise ValueError("cannot have more drives than tapes")
+        self.env = env
+        self.catalog = catalog
+        self.source = source
+        self.metrics = metrics
+        self.pool = TapePool.uniform(tape_count, capacity_mb)
+        self.robot = Resource(env, capacity=1)
+        self.robot_swap_s = timing.robot_swap_s
+        self.pending = PendingList(catalog)
+        #: tape_id -> index of the drive that claimed it.
+        self.claims: Dict[int, int] = {}
+        self.tape_switches = 0
+        self._started = False
+        self._wakeups: List[Optional[Event]] = [None] * drive_count
+
+        self.drives: List[TapeDrive] = []
+        self.schedulers: List[Scheduler] = []
+        self.contexts: List[SchedulerContext] = []
+        for drive_index in range(drive_count):
+            scheduler = scheduler_factory()
+            if isinstance(scheduler, EnvelopeScheduler):
+                raise ValueError(
+                    "the envelope-extension algorithm is single-drive; "
+                    "use a static or dynamic scheduler for multi-drive runs"
+                )
+            drive = TapeDrive(timing=timing)
+            view = DriveView(drive=drive, tape_count=tape_count)
+            filtered = ClaimFilteredPending(self.pending, self.claims, drive_index)
+            context = SchedulerContext(
+                jukebox=view,  # duck-typed: mounted_id / head_mb / timing / tape_count
+                catalog=catalog,
+                pending=filtered,
+            )
+            self.drives.append(drive)
+            self.schedulers.append(scheduler)
+            self.contexts.append(context)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Route an arrival to some drive's incremental scheduler.
+
+        The first drive whose in-progress sweep covers a replica of the
+        requested block gets the insertion attempt; otherwise (or if the
+        attempt fails) the request joins the shared pending list.
+        """
+        self.metrics.on_arrival(request, self.env.now)
+        for drive_index, context in enumerate(self.contexts):
+            if context.service is None or context.mounted_id is None:
+                continue
+            if not self.catalog.has_replica_on(request.block_id, context.mounted_id):
+                continue
+            self.schedulers[drive_index].on_arrival(context, request)
+            # Either inserted into that drive's sweep, or deferred to the
+            # shared pending list by the scheduler itself.
+            self._wake_idle_drives()
+            return
+        self.pending.append(request)
+        self._wake_idle_drives()
+
+    def _wake_idle_drives(self) -> None:
+        for drive_index, wakeup in enumerate(self._wakeups):
+            if wakeup is not None and not wakeup.triggered:
+                wakeup.succeed()
+                self._wakeups[drive_index] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self, horizon_s: float) -> MetricsReport:
+        """Run to ``horizon_s`` and report shared steady-state metrics."""
+        if self._started:
+            raise RuntimeError("simulator already started")
+        self._started = True
+        for request in self.source.initial_requests(self.env.now):
+            self.pending.append(request)
+            self.metrics.on_arrival(request, self.env.now)
+        for drive_index in range(len(self.drives)):
+            self.env.process(self._drive_process(drive_index))
+        if not self.source.is_closed:
+            self.env.process(self._arrival_process(horizon_s))
+        self.env.run(until=horizon_s)
+        self.metrics.finalize(self.env.now)
+        return self.metrics.report()
+
+    def _arrival_process(self, horizon_s: float):
+        for arrival_s, request in self.source.arrivals(horizon_s, self.env.now):
+            delay = arrival_s - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.submit(request)
+
+    # ------------------------------------------------------------------
+    # Per-drive service loop
+    # ------------------------------------------------------------------
+    def _timed(self, duration_s: float):
+        self.metrics.on_drive_busy(self.env.now, duration_s)
+        return self.env.timeout(duration_s)
+
+    def _drive_process(self, drive_index: int):
+        context = self.contexts[drive_index]
+        scheduler = self.schedulers[drive_index]
+        drive = self.drives[drive_index]
+        block_mb = self.catalog.block_mb
+        while True:
+            decision = (
+                scheduler.major_reschedule(context) if len(self.pending) else None
+            )
+            if decision is None:
+                wakeup = self.env.event()
+                self._wakeups[drive_index] = wakeup
+                yield wakeup
+                continue
+
+            switching = decision.tape_id != drive.mounted_id
+            start_head = 0.0 if switching else drive.head_mb
+            service = ServiceList(decision.entries, head_mb=start_head)
+            context.service = service
+
+            if switching:
+                # Claim the new tape first so no other drive grabs it
+                # while this one rewinds and waits for the arm.
+                self.claims[decision.tape_id] = drive_index
+                old_tape = drive.mounted_id
+                if drive.is_loaded:
+                    yield self._timed(drive.rewind())
+                    yield self._timed(drive.eject())
+                grant = self.robot.acquire()
+                yield grant
+                try:
+                    yield self._timed(self.robot_swap_s)
+                finally:
+                    self.robot.release()
+                if old_tape is not None:
+                    del self.claims[old_tape]
+                    self._wake_idle_drives()  # the old tape is free again
+                yield self._timed(drive.load(self.pool[decision.tape_id]))
+                self.tape_switches += 1
+                self.metrics.on_tape_switch(self.env.now)
+
+            while not service.is_empty:
+                entry = service.pop_next()
+                yield self._timed(drive.access(entry.position_mb, block_mb))
+                service.finish_in_flight()
+                for request in entry.requests:
+                    self.metrics.on_completion(request, self.env.now)
+                    if self.source.is_closed:
+                        replacement = self.source.on_completion(self.env.now)
+                        if replacement is not None:
+                            self.submit(replacement)
+
+            context.service = None
+            scheduler.on_sweep_complete(context)

@@ -1,0 +1,115 @@
+"""Operation logging: a structured trace of everything the drive does.
+
+Attach an :class:`OperationLog` to a simulator to capture each timed
+hardware operation — switches, locates+reads, idle waits — with start
+time, duration, tape, and position.  Useful for debugging scheduler
+behaviour ("why did it switch here?"), for visualizing head movement,
+and for asserting fine-grained properties in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class OpKind(enum.Enum):
+    """Kinds of logged drive activity."""
+
+    SWITCH = "switch"
+    READ = "read"
+    WRITE = "write"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One logged operation."""
+
+    kind: OpKind
+    start_s: float
+    duration_s: float
+    tape_id: Optional[int] = None
+    position_mb: Optional[float] = None
+    block_id: Optional[int] = None
+
+    @property
+    def end_s(self) -> float:
+        """Completion time of the operation."""
+        return self.start_s + self.duration_s
+
+
+class OperationLog:
+    """Append-only log of :class:`Operation` records."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._operations: List[Operation] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def append(self, operation: Operation) -> None:
+        """Record ``operation`` (drops silently past ``capacity``)."""
+        if self.capacity is not None and len(self._operations) >= self.capacity:
+            self.dropped += 1
+            return
+        self._operations.append(operation)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def of_kind(self, kind: OpKind) -> List[Operation]:
+        """All operations of one kind, in time order."""
+        return [operation for operation in self._operations if operation.kind is kind]
+
+    def busy_seconds(self) -> float:
+        """Total logged non-idle time."""
+        return sum(
+            operation.duration_s
+            for operation in self._operations
+            if operation.kind is not OpKind.IDLE
+        )
+
+    def validate_non_overlapping(self) -> None:
+        """Raise ``AssertionError`` if logged operations overlap in time."""
+        previous_end = 0.0
+        for operation in self._operations:
+            if operation.start_s < previous_end - 1e-9:
+                raise AssertionError(
+                    f"operation at {operation.start_s} overlaps previous "
+                    f"ending {previous_end}"
+                )
+            previous_end = max(previous_end, operation.end_s)
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable rendering of the first ``limit`` operations."""
+        lines = []
+        for operation in self._operations[:limit]:
+            where = ""
+            if operation.tape_id is not None:
+                where = f" tape={operation.tape_id}"
+            if operation.position_mb is not None:
+                where += f" pos={operation.position_mb:g}MB"
+            if operation.block_id is not None:
+                where += f" block={operation.block_id}"
+            lines.append(
+                f"{operation.start_s:12.2f}s  {operation.kind.value:6s} "
+                f"{operation.duration_s:9.2f}s{where}"
+            )
+        if len(self._operations) > limit:
+            lines.append(f"... {len(self._operations) - limit} more")
+        return "\n".join(lines)
+
+
+class LoggingSimulatorMixin:
+    """Glue for simulators: call the hooks where operations happen."""
+
+    oplog: Optional[OperationLog] = None
+
+    def log_operation(self, **kwargs) -> None:
+        """Append to the attached log, if any."""
+        if self.oplog is not None:
+            self.oplog.append(Operation(**kwargs))

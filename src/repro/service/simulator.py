@@ -1,0 +1,183 @@
+"""The service model (paper Section 2.2) as a discrete-event process.
+
+The drive process repeatedly cycles through the paper's four steps:
+
+1. invoke the major rescheduler on the pending list;
+2. switch to the selected tape if it is not already loaded;
+3. execute the service list, handing requests that arrive mid-sweep to
+   the incremental scheduler;
+4. if the pending list is empty, wait for a request to arrive.
+
+Operation durations come from the jukebox's timing model; state changes
+are committed at operation start and the simulated clock advances by the
+returned duration, so a request arriving during an operation sees the
+operation as already committed (it may only affect the not-yet-started
+remainder of the sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.base import Scheduler, SchedulerContext
+from ..core.pending import PendingList
+from ..core.sweep import ServiceList
+from ..des import Environment, Event
+from ..layout.catalog import BlockCatalog
+from ..tape.jukebox import Jukebox
+from ..workload.requests import Request
+from .metrics import MetricsCollector, MetricsReport
+from .oplog import OpKind, Operation, OperationLog
+
+
+class JukeboxSimulator:
+    """Couples jukebox hardware, a scheduler, and a request source."""
+
+    def __init__(
+        self,
+        env: Environment,
+        jukebox: Jukebox,
+        catalog: BlockCatalog,
+        scheduler: Scheduler,
+        source,
+        metrics: MetricsCollector,
+        oplog: Optional[OperationLog] = None,
+    ) -> None:
+        self.env = env
+        self.jukebox = jukebox
+        self.scheduler = scheduler
+        self.source = source
+        self.metrics = metrics
+        self.context = SchedulerContext(
+            jukebox=jukebox, catalog=catalog, pending=PendingList(catalog)
+        )
+        self._wakeup: Optional[Event] = None
+        self._started = False
+        #: Count of arrivals absorbed into an in-progress sweep.
+        self.absorbed_arrivals = 0
+        #: Optional hook invoked as ``hook(request, now)`` after each
+        #: completion (used by the storage-hierarchy tier to promote
+        #: blocks into its caches and finish the user-visible request).
+        self.on_request_complete = None
+        #: Optional structured trace of drive operations.
+        self.oplog = oplog
+
+    def _log(self, kind: OpKind, start_s: float, duration_s: float, **where) -> None:
+        if self.oplog is not None:
+            self.oplog.append(
+                Operation(kind=kind, start_s=start_s, duration_s=duration_s, **where)
+            )
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """A request arrives: incremental-schedule it or defer it."""
+        self.metrics.on_arrival(request, self.env.now)
+        if self.context.service is not None:
+            if self.scheduler.on_arrival(self.context, request):
+                self.absorbed_arrivals += 1
+        else:
+            self.context.pending.append(request)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, horizon_s: float) -> None:
+        """Inject initial requests and start the simulation processes."""
+        if self._started:
+            raise RuntimeError("simulator already started")
+        self._started = True
+        for request in self.source.initial_requests(self.env.now):
+            self.submit(request)
+        self.env.process(self._drive_process())
+        if not self.source.is_closed:
+            self.env.process(self._arrival_process(horizon_s))
+
+    def run(self, horizon_s: float, finalize: bool = True) -> MetricsReport:
+        """Run until ``horizon_s`` and return the metrics report."""
+        self.start(horizon_s)
+        self.env.run(until=horizon_s)
+        if finalize:
+            self.metrics.finalize(self.env.now)
+        return self.metrics.report()
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def _arrival_process(self, horizon_s: float):
+        """Open-queueing Poisson arrival stream."""
+        for arrival_s, request in self.source.arrivals(horizon_s, self.env.now):
+            delay = arrival_s - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.submit(request)
+
+    def _timed(self, duration_s: float):
+        """Record drive busy time and return the matching timeout event."""
+        self.metrics.on_drive_busy(self.env.now, duration_s)
+        return self.env.timeout(duration_s)
+
+    def _drive_process(self):
+        """The paper's four-step service loop."""
+        context = self.context
+        block_mb = context.catalog.block_mb
+        while True:
+            # Step 4: idle-wait for work.
+            while len(context.pending) == 0:
+                idle_start = self.env.now
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+                self._log(OpKind.IDLE, idle_start, self.env.now - idle_start)
+
+            # Step 1: major reschedule.
+            decision = self.scheduler.major_reschedule(context)
+            if decision is None:  # pragma: no cover - pending was non-empty
+                continue
+
+            # Step 2: switch tapes if necessary.  The service list exists
+            # during the switch so arriving requests can be inserted.
+            switching = decision.tape_id != self.jukebox.mounted_id
+            start_head = 0.0 if switching else self.jukebox.head_mb
+            service = self.scheduler.build_service_list(
+                decision.entries, head_mb=start_head
+            )
+            context.service = service
+            if switching:
+                switch_start = self.env.now
+                duration = self.jukebox.switch_to(decision.tape_id)
+                yield self._timed(duration)
+                self.metrics.on_tape_switch(self.env.now)
+                self._log(
+                    OpKind.SWITCH, switch_start, duration, tape_id=decision.tape_id
+                )
+
+            # Step 3: execute the service list as one sweep.
+            while not service.is_empty:
+                entry = service.pop_next()
+                read_start = self.env.now
+                duration = self.jukebox.access(entry.position_mb, block_mb)
+                yield self._timed(duration)
+                self._log(
+                    OpKind.READ,
+                    read_start,
+                    duration,
+                    tape_id=self.jukebox.mounted_id,
+                    position_mb=entry.position_mb,
+                    block_id=entry.block_id,
+                )
+                service.finish_in_flight()
+                for request in entry.requests:
+                    self.metrics.on_completion(request, self.env.now, service_s=duration)
+                    if self.on_request_complete is not None:
+                        self.on_request_complete(request, self.env.now)
+                    if self.source.is_closed:
+                        replacement = self.source.on_completion(self.env.now)
+                        if replacement is not None:
+                            self.submit(replacement)
+
+            context.service = None
+            self.scheduler.on_sweep_complete(context)

@@ -1,0 +1,24 @@
+"""Online statistics substrate for the simulation metric collectors."""
+
+from .batchmeans import (
+    BatchMeans,
+    ConfidenceInterval,
+    batch_means_interval,
+    t_quantile_975,
+)
+from .histogram import Histogram, exact_percentile
+from .online import RunningStats
+from .timeweighted import TimeWeightedStats
+from .warmup import WarmupFilter
+
+__all__ = [
+    "BatchMeans",
+    "ConfidenceInterval",
+    "Histogram",
+    "RunningStats",
+    "TimeWeightedStats",
+    "WarmupFilter",
+    "batch_means_interval",
+    "exact_percentile",
+    "t_quantile_975",
+]

@@ -1,0 +1,130 @@
+"""Batch-means confidence intervals for steady-state simulation output.
+
+Samples from a single simulation run are autocorrelated (consecutive
+response times share queue state), so the naive i.i.d. standard error
+understates uncertainty.  The classic remedy is the method of batch
+means: split the run into ``batch_count`` contiguous batches, average
+within each batch, and treat the batch averages as approximately
+independent observations.  With tens of batches of thousands of
+samples each, the Student-t interval over batch means is a sound
+steady-state confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Two-sided Student-t 97.5% quantiles for df = 1..30 (95% intervals);
+#: beyond 30 degrees of freedom the normal value is used.
+_T_975 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+_Z_975 = 1.960
+
+
+def t_quantile_975(degrees_of_freedom: int) -> float:
+    """Two-sided 95% Student-t critical value."""
+    if degrees_of_freedom < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {degrees_of_freedom!r}")
+    if degrees_of_freedom <= len(_T_975):
+        return _T_975[degrees_of_freedom - 1]
+    return _Z_975
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean estimate with a symmetric 95% half-width."""
+
+    mean: float
+    half_width: float
+    batch_count: int
+
+    @property
+    def low(self) -> float:
+        """Lower 95% bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper 95% bound."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (inf for zero mean)."""
+        if self.mean == 0:
+            return float("inf")
+        return abs(self.half_width / self.mean)
+
+
+class BatchMeans:
+    """Online batch-means accumulator.
+
+    Samples stream in; once a batch fills, its mean is frozen.  The
+    final partial batch is discarded (standard practice), so supply
+    roughly ``batch_count * batch_size`` samples.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size!r}")
+        self.batch_size = batch_size
+        self._batch_sum = 0.0
+        self._batch_count_in_progress = 0
+        self._means: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the current batch."""
+        self._batch_sum += float(value)
+        self._batch_count_in_progress += 1
+        if self._batch_count_in_progress == self.batch_size:
+            self._means.append(self._batch_sum / self.batch_size)
+            self._batch_sum = 0.0
+            self._batch_count_in_progress = 0
+
+    @property
+    def batch_means(self) -> List[float]:
+        """Completed batch means, in time order."""
+        return list(self._means)
+
+    @property
+    def complete_batches(self) -> int:
+        """Number of full batches accumulated."""
+        return len(self._means)
+
+    def interval(self) -> Optional[ConfidenceInterval]:
+        """95% confidence interval over batch means (None below 2 batches)."""
+        count = len(self._means)
+        if count < 2:
+            return None
+        mean = sum(self._means) / count
+        variance = sum((m - mean) ** 2 for m in self._means) / (count - 1)
+        half_width = t_quantile_975(count - 1) * math.sqrt(variance / count)
+        return ConfidenceInterval(mean=mean, half_width=half_width, batch_count=count)
+
+
+def batch_means_interval(
+    samples: List[float], batch_count: int = 20
+) -> Optional[ConfidenceInterval]:
+    """Convenience: interval from a stored sample list.
+
+    ``batch_count`` contiguous batches of equal size; trailing samples
+    that do not fill the last batch are dropped.
+    """
+    if batch_count < 2:
+        raise ValueError(f"batch_count must be >= 2, got {batch_count!r}")
+    batch_size = len(samples) // batch_count
+    if batch_size == 0:
+        return None
+    accumulator = BatchMeans(batch_size)
+    for value in samples[: batch_size * batch_count]:
+        accumulator.add(value)
+    return accumulator.interval()

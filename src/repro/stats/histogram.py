@@ -1,0 +1,82 @@
+"""Reservoir-free percentile estimation via fixed-width histograms.
+
+For response-time distributions the simulator records samples into a
+histogram with configurable bin width; percentiles are then interpolated
+within the containing bin.  Exact small-sample percentiles are also
+provided for tests and analysis code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def exact_percentile(values: Sequence[float], fraction: float) -> float:
+    """Exact percentile with linear interpolation (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction!r} outside [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Histogram:
+    """Fixed-bin-width histogram with interpolated percentile queries."""
+
+    def __init__(self, bin_width: float = 1.0) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width!r}")
+        self.bin_width = float(bin_width)
+        self._bins: Dict[int, int] = {}
+        self._count = 0
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        index = math.floor(value / self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + 1
+        self._count += 1
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of recorded samples (0.0 when empty)."""
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (``fraction`` in [0, 1])."""
+        if self._count == 0:
+            raise ValueError("percentile of empty histogram")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction!r} outside [0, 1]")
+        target = fraction * self._count
+        cumulative = 0
+        for index in sorted(self._bins):
+            bin_count = self._bins[index]
+            if cumulative + bin_count >= target:
+                # Interpolate linearly inside the containing bin.
+                within = (target - cumulative) / bin_count
+                return (index + within) * self.bin_width
+            cumulative += bin_count
+        last = max(self._bins)
+        return (last + 1) * self.bin_width
+
+    def bins(self) -> List[tuple]:
+        """Sorted ``(bin_start, count)`` pairs for non-empty bins."""
+        return [(index * self.bin_width, self._bins[index]) for index in sorted(self._bins)]

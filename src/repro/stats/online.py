@@ -1,0 +1,102 @@
+"""Online (single-pass) statistics accumulators.
+
+These are used by the simulator's metric collectors, where runs produce
+hundreds of thousands of samples and storing them all would be wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class RunningStats:
+    """Welford's algorithm for count / mean / variance / min / max."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        merged = RunningStats()
+        if self._count == 0:
+            merged.__dict__.update(other.__dict__)
+            return merged
+        if other._count == 0:
+            merged.__dict__.update(self.__dict__)
+            return merged
+        n = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = n
+        merged._total = self._total + other._total
+        merged._mean = self._mean + delta * other._count / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._count * other._count / n
+        merged._min = min(self._min, other._min)  # type: ignore[type-var]
+        merged._max = max(self._max, other._max)  # type: ignore[type-var]
+        return merged
+
+    @property
+    def count(self) -> int:
+        """Number of samples seen."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen (0.0 when empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen (0.0 when empty)."""
+        return self._max if self._max is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g}, min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )

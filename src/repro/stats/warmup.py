@@ -1,0 +1,29 @@
+"""Warm-up window handling for steady-state simulation metrics.
+
+The paper reports steady-state averages.  Samples collected before the
+warm-up cutoff reflect the initial transient (empty queue, fresh tape at
+position 0) and are discarded.
+"""
+
+from __future__ import annotations
+
+from .online import RunningStats
+
+
+class WarmupFilter:
+    """Drops samples whose timestamp falls before the warm-up cutoff."""
+
+    def __init__(self, cutoff_time: float) -> None:
+        if cutoff_time < 0:
+            raise ValueError(f"cutoff_time must be >= 0, got {cutoff_time!r}")
+        self.cutoff_time = float(cutoff_time)
+        self.accepted = RunningStats()
+        self.dropped = 0
+
+    def offer(self, time: float, value: float) -> bool:
+        """Record ``value`` if ``time`` is past the cutoff; return whether kept."""
+        if time < self.cutoff_time:
+            self.dropped += 1
+            return False
+        self.accepted.add(value)
+        return True

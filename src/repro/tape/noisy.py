@@ -1,0 +1,150 @@
+"""Noisy drive timing: synthetic "hardware" that deviates from the model.
+
+The paper validated its locate/read model against real hardware: over
+ten random walks of 100 operations, total locate-time error was at most
+0.6% (mean 0.5%) and read-time error at most 4.6% (mean 2.6%), with
+read measurements showing "a significant variance".
+
+Our simulator *is* the fitted model, so the equivalent validation needs
+a synthetic stand-in for the measured drive: this wrapper perturbs each
+operation's duration with bounded multiplicative noise.  Two uses:
+
+* re-running the paper's random-walk validation — the deterministic
+  model should predict a noisy drive's aggregate times with per-walk
+  errors comparable to the paper's, because zero-mean per-operation
+  noise averages out over a walk; and
+* robustness experiments — schedulers make decisions with the *clean*
+  cost model while the "hardware" misbehaves, mirroring reality, and
+  the paper's conclusions should survive (see
+  ``benchmarks/bench_robustness.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .timing import DriveTimingModel
+
+
+class NoisyTimingModel:
+    """Wraps a timing model, perturbing every duration it returns.
+
+    Each duration is multiplied by ``1 + U(-amplitude, +amplitude)``
+    drawn independently per operation; ``read_amplitude`` may be set
+    higher than ``locate_amplitude`` (the paper observed much larger
+    variance on reads).  The interface mirrors
+    :class:`~repro.tape.timing.DriveTimingModel` so drives accept it
+    directly.
+    """
+
+    def __init__(
+        self,
+        base: DriveTimingModel,
+        rng: random.Random,
+        locate_amplitude: float = 0.02,
+        read_amplitude: float = 0.10,
+        switch_amplitude: float = 0.02,
+    ) -> None:
+        for name, amplitude in (
+            ("locate_amplitude", locate_amplitude),
+            ("read_amplitude", read_amplitude),
+            ("switch_amplitude", switch_amplitude),
+        ):
+            if not 0.0 <= amplitude < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {amplitude!r}")
+        self.base = base
+        self.rng = rng
+        self.locate_amplitude = locate_amplitude
+        self.read_amplitude = read_amplitude
+        self.switch_amplitude = switch_amplitude
+
+    def _jitter(self, seconds: float, amplitude: float) -> float:
+        if seconds == 0.0 or amplitude == 0.0:
+            return seconds
+        return seconds * (1.0 + self.rng.uniform(-amplitude, amplitude))
+
+    # -- perturbed operations -------------------------------------------
+    def locate(self, from_mb: float, to_mb: float) -> float:
+        """Perturbed point-to-point locate."""
+        return self._jitter(self.base.locate(from_mb, to_mb), self.locate_amplitude)
+
+    def locate_forward(self, distance_mb: float) -> float:
+        """Perturbed forward locate (kept for cost-heuristic callers)."""
+        return self._jitter(
+            self.base.locate_forward(distance_mb), self.locate_amplitude
+        )
+
+    def locate_reverse(self, distance_mb: float, lands_on_bot: bool = False) -> float:
+        """Perturbed reverse locate."""
+        return self._jitter(
+            self.base.locate_reverse(distance_mb, lands_on_bot=lands_on_bot),
+            self.locate_amplitude,
+        )
+
+    def read(self, size_mb: float, startup: bool = True) -> float:
+        """Perturbed read (the paper's high-variance measurement)."""
+        return self._jitter(self.base.read(size_mb, startup=startup), self.read_amplitude)
+
+    def rewind(self, from_mb: float) -> float:
+        """Perturbed full rewind."""
+        return self._jitter(self.base.rewind(from_mb), self.locate_amplitude)
+
+    def switch(self) -> float:
+        """Perturbed eject + swap + load."""
+        return self._jitter(self.base.switch(), self.switch_amplitude)
+
+    def switch_with_rewind(self, from_mb: float) -> float:
+        """Perturbed full switch."""
+        return self.rewind(from_mb) + self.switch()
+
+    # -- pass-through constants used elsewhere ---------------------------
+    @property
+    def eject_s(self) -> float:
+        """Nominal eject time (constants stay clean for bookkeeping)."""
+        return self.base.eject_s
+
+    @property
+    def robot_swap_s(self) -> float:
+        """Nominal robot swap time."""
+        return self.base.robot_swap_s
+
+    @property
+    def load_s(self) -> float:
+        """Nominal load time."""
+        return self.base.load_s
+
+    @property
+    def read_s_per_mb(self) -> float:
+        """Nominal streaming rate."""
+        return self.base.read_s_per_mb
+
+
+def random_walk_validation(
+    base: DriveTimingModel,
+    noisy: "NoisyTimingModel",
+    walks: int = 10,
+    steps: int = 100,
+    extent_mb: float = 7 * 1024.0 - 1.0,
+    block_mb: float = 1.0,
+    seed: int = 0,
+) -> list:
+    """The paper's Section 2.1 validation: per-walk relative errors.
+
+    For each random walk, accumulate the model-predicted and the noisy
+    "measured" total of locate+read times over ``steps`` random
+    targets; return the per-walk relative errors.
+    """
+    errors = []
+    walk_rng = random.Random(seed)
+    for _walk in range(walks):
+        head = 0.0
+        predicted = 0.0
+        measured = 0.0
+        for _step in range(steps):
+            target = walk_rng.uniform(0.0, extent_mb)
+            predicted += base.locate(head, target) + base.read(block_mb)
+            measured += noisy.locate(head, target) + noisy.read(block_mb)
+            head = target + block_mb
+        errors.append(abs(predicted - measured) / measured)
+    return errors

@@ -1,0 +1,171 @@
+"""Serpentine tape timing model (extension beyond the paper).
+
+The paper's algorithms assume single-pass helical-scan tape and note
+that they "would need to be modified for serpentine tapes such as
+Travan, Quantum DLT, and IBM 3950".  This module supplies the missing
+substrate for exploring that claim: a serpentine geometry/timing model
+that plugs into the same drive, jukebox, and scheduler machinery.
+
+Geometry: the tape is divided into ``wraps`` longitudinal passes of
+``wrap_mb`` MB each, written boustrophedon (even wraps run forward,
+odd wraps run backward).  A logical position ``p`` therefore maps to a
+longitudinal coordinate
+
+    x(p) = offset          if (p // wrap_mb) is even
+    x(p) = wrap_mb - offset  otherwise,   offset = p mod wrap_mb
+
+and locating is dominated by the *longitudinal* distance ``|x2 - x1|``
+(a fast skip) plus a small head-step cost when the wrap changes —
+nothing like the helical model's long linear traversals.  Two further
+differences matter to the paper's conclusions: there is no
+rewind-before-eject penalty (``rewind`` is free), and positioning cost
+is nearly independent of logical distance, which compresses the
+placement effects Sections 4.3/4.5 rely on.
+
+The exact position-based cost is what the drive executes
+(:meth:`locate`); the distance-only methods (:meth:`locate_forward`,
+:meth:`locate_reverse`) used by the schedulers' cost heuristics are
+*expectations* over wrap phase, which is exactly the approximation a
+scheduler for serpentine tape would have to make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SerpentineTimingModel:
+    """A DLT-style serpentine drive, interface-compatible with
+    :class:`~repro.tape.timing.DriveTimingModel` consumers."""
+
+    wraps: int = 64
+    wrap_mb: float = 112.0  # 64 x 112 MB = 7 GB, matching the EXB tapes
+    locate_startup_s: float = 3.0
+    longitudinal_s_per_mb: float = 0.06
+    wrap_step_s: float = 1.0
+    #: Same streaming rate as the helical model, isolating geometry effects.
+    read_s_per_mb: float = 1.77
+    read_startup_s: float = 0.38
+    eject_s: float = 19.0
+    robot_swap_s: float = 20.0
+    load_s: float = 42.0
+
+    @property
+    def capacity_mb(self) -> float:
+        """Total logical extent of a tape under this geometry."""
+        return self.wraps * self.wrap_mb
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def wrap_of(self, position_mb: float) -> int:
+        """Index of the wrap containing ``position_mb``."""
+        if position_mb < 0:
+            raise ValueError(f"position must be >= 0, got {position_mb!r}")
+        return min(int(position_mb // self.wrap_mb), self.wraps - 1)
+
+    def longitudinal(self, position_mb: float) -> float:
+        """Longitudinal coordinate x(p) in ``[0, wrap_mb]``."""
+        wrap = self.wrap_of(position_mb)
+        offset = position_mb - wrap * self.wrap_mb
+        if wrap % 2 == 0:
+            return offset
+        return self.wrap_mb - offset
+
+    # ------------------------------------------------------------------
+    # Exact costs (used by the drive)
+    # ------------------------------------------------------------------
+    def locate(self, from_mb: float, to_mb: float) -> float:
+        """Seconds to move the head between two logical positions."""
+        if from_mb == to_mb:
+            return 0.0
+        longitudinal_delta = abs(self.longitudinal(to_mb) - self.longitudinal(from_mb))
+        wrap_delta = abs(self.wrap_of(to_mb) - self.wrap_of(from_mb))
+        return (
+            self.locate_startup_s
+            + self.longitudinal_s_per_mb * longitudinal_delta
+            + (self.wrap_step_s if wrap_delta else 0.0)
+        )
+
+    def read(self, size_mb: float, startup: bool = True) -> float:
+        """Seconds to stream ``size_mb`` MB (turnarounds amortized in rate)."""
+        if size_mb < 0:
+            raise ValueError(f"read size must be >= 0, got {size_mb!r}")
+        seconds = self.read_s_per_mb * size_mb
+        if startup:
+            seconds += self.read_startup_s
+        return seconds
+
+    def rewind(self, from_mb: float) -> float:
+        """Serpentine drives eject from anywhere: rewind is free."""
+        if from_mb < 0:
+            raise ValueError(f"head position must be >= 0, got {from_mb!r}")
+        return 0.0
+
+    def switch(self) -> float:
+        """Eject + robot swap + load."""
+        return self.eject_s + self.robot_swap_s + self.load_s
+
+    def switch_with_rewind(self, from_mb: float) -> float:
+        """Full switch; identical to :meth:`switch` (no rewind cost)."""
+        return self.rewind(from_mb) + self.switch()
+
+    # ------------------------------------------------------------------
+    # Distance-only expectations (used by scheduler cost heuristics)
+    # ------------------------------------------------------------------
+    def _expected_longitudinal(self, distance_mb: float) -> float:
+        """E|x(p+d) - x(p)| over uniform wrap phase p.
+
+        For d beyond one wrap the coordinates decorrelate and the
+        expected gap of two uniform points applies (wrap_mb / 3); below
+        one wrap it interpolates linearly between d and that asymptote.
+        """
+        if distance_mb >= self.wrap_mb:
+            return self.wrap_mb / 3.0
+        asymptote = self.wrap_mb / 3.0
+        blend = distance_mb / self.wrap_mb
+        return distance_mb * (1.0 - blend) + asymptote * blend
+
+    def locate_forward(self, distance_mb: float) -> float:
+        """Expected locate cost for a forward logical distance."""
+        if distance_mb < 0:
+            raise ValueError(f"distance must be >= 0, got {distance_mb!r}")
+        if distance_mb == 0:
+            return 0.0
+        wrap_cost = self.wrap_step_s if distance_mb > self.wrap_mb / 2 else 0.0
+        return (
+            self.locate_startup_s
+            + self.longitudinal_s_per_mb * self._expected_longitudinal(distance_mb)
+            + wrap_cost
+        )
+
+    def locate_reverse(self, distance_mb: float, lands_on_bot: bool = False) -> float:
+        """Expected reverse locate; symmetric, and no beginning-of-tape
+        overhead exists for serpentine drives."""
+        return self.locate_forward(distance_mb)
+
+
+    # ------------------------------------------------------------------
+    def scaled(self, speedup: float) -> "SerpentineTimingModel":
+        """A model with every time cost divided by ``speedup``."""
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup!r}")
+        scale = 1.0 / speedup
+        from dataclasses import replace
+
+        return replace(
+            self,
+            locate_startup_s=self.locate_startup_s * scale,
+            longitudinal_s_per_mb=self.longitudinal_s_per_mb * scale,
+            wrap_step_s=self.wrap_step_s * scale,
+            read_s_per_mb=self.read_s_per_mb * scale,
+            read_startup_s=self.read_startup_s * scale,
+            eject_s=self.eject_s * scale,
+            robot_swap_s=self.robot_swap_s * scale,
+            load_s=self.load_s * scale,
+        )
+
+
+#: A representative serpentine drive matching the EXB tapes' capacity.
+DLT_STYLE = SerpentineTimingModel()

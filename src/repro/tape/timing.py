@@ -1,0 +1,199 @@
+"""Tape drive timing model (paper Section 2.1).
+
+The paper measured an Exabyte EXB-8505XL helical-scan drive in an EXB-210
+library and fitted piecewise-linear functions over 2130 random locates
+with 1 MB logical blocks:
+
+* forward locate past ``k`` blocks: ``4.834 + 0.378 k`` s for ``k <= 28``,
+  else ``14.342 + 0.028 k`` s;
+* reverse locate past ``k`` blocks: ``4.99 + 0.328 k`` s for ``k <= 28``,
+  else ``13.74 + 0.0286 k`` s;
+* locating to the physical beginning of tape adds 21 s;
+* reading ``k`` MB after a forward locate: ``0.38 + 1.77 k`` s;
+  after a reverse locate: ``1.77 k`` s;
+* tape switch: 19 s eject + 20 s robot + 42 s load = 81 s.
+
+All positions and distances in this module are measured in MB (the paper's
+1 MB physical block unit).  Distances may be fractional.
+
+The model is deliberately parameterized: the paper notes that changing the
+constants to model a faster system "does not materially alter our results",
+and :meth:`DriveTimingModel.scaled` supports exactly that sensitivity
+experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Direction(enum.Enum):
+    """Direction of the most recent tape head motion."""
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+
+
+@dataclass(frozen=True)
+class LinearSegment:
+    """A linear cost function ``startup + rate * distance``."""
+
+    startup: float
+    rate: float
+
+    def cost(self, distance: float) -> float:
+        """Seconds to traverse ``distance`` MB under this segment."""
+        return self.startup + self.rate * distance
+
+
+@dataclass(frozen=True)
+class DriveTimingModel:
+    """Piecewise-linear timing model for a single-pass (helical-scan) drive.
+
+    Attributes mirror the paper's fitted constants; see the module
+    docstring for their provenance.
+    """
+
+    forward_short: LinearSegment = LinearSegment(4.834, 0.378)
+    forward_long: LinearSegment = LinearSegment(14.342, 0.028)
+    reverse_short: LinearSegment = LinearSegment(4.99, 0.328)
+    reverse_long: LinearSegment = LinearSegment(13.74, 0.0286)
+    #: Locate distance (MB) at or below which the short segment applies.
+    short_threshold_mb: float = 28.0
+    #: Extra seconds when a locate lands on the physical beginning of tape.
+    bot_overhead_s: float = 21.0
+    #: Startup seconds charged to a read that follows a forward locate.
+    read_startup_after_forward_s: float = 0.38
+    #: Streaming read rate: seconds per MB transferred.
+    read_s_per_mb: float = 1.77
+    eject_s: float = 19.0
+    robot_swap_s: float = 20.0
+    load_s: float = 42.0
+
+    # ------------------------------------------------------------------
+    # Locates
+    # ------------------------------------------------------------------
+    def locate_forward(self, distance_mb: float) -> float:
+        """Seconds for a forward locate past ``distance_mb`` MB.
+
+        A zero-distance "locate" models uninterrupted streaming onto a
+        physically adjacent block and costs nothing.
+        """
+        if distance_mb < 0:
+            raise ValueError(f"forward locate distance must be >= 0, got {distance_mb!r}")
+        if distance_mb == 0:
+            return 0.0
+        if distance_mb <= self.short_threshold_mb:
+            return self.forward_short.cost(distance_mb)
+        return self.forward_long.cost(distance_mb)
+
+    def locate_reverse(self, distance_mb: float, lands_on_bot: bool = False) -> float:
+        """Seconds for a reverse locate past ``distance_mb`` MB.
+
+        ``lands_on_bot`` adds the beginning-of-tape overhead the drive
+        incurs whenever it fully rewinds.
+        """
+        if distance_mb < 0:
+            raise ValueError(f"reverse locate distance must be >= 0, got {distance_mb!r}")
+        if distance_mb == 0:
+            return 0.0
+        if distance_mb <= self.short_threshold_mb:
+            seconds = self.reverse_short.cost(distance_mb)
+        else:
+            seconds = self.reverse_long.cost(distance_mb)
+        if lands_on_bot:
+            seconds += self.bot_overhead_s
+        return seconds
+
+    def locate(self, from_mb: float, to_mb: float) -> float:
+        """Seconds to move the head from ``from_mb`` to ``to_mb``."""
+        if to_mb >= from_mb:
+            return self.locate_forward(to_mb - from_mb)
+        return self.locate_reverse(from_mb - to_mb, lands_on_bot=(to_mb == 0))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, size_mb: float, startup: bool = True) -> float:
+        """Seconds to transfer ``size_mb`` MB once the block is located.
+
+        ``startup`` is True for reads that follow a forward locate, which
+        pay a fixed re-synchronization cost (the paper's measurement);
+        reads after a reverse locate, and streaming reads that continue
+        directly from the previous block, do not.
+        """
+        if size_mb < 0:
+            raise ValueError(f"read size must be >= 0, got {size_mb!r}")
+        seconds = self.read_s_per_mb * size_mb
+        if startup:
+            seconds += self.read_startup_after_forward_s
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Rewind / switch
+    # ------------------------------------------------------------------
+    def rewind(self, from_mb: float) -> float:
+        """Seconds to fully rewind from head position ``from_mb``."""
+        if from_mb < 0:
+            raise ValueError(f"head position must be >= 0, got {from_mb!r}")
+        if from_mb == 0:
+            return 0.0
+        return self.locate_reverse(from_mb, lands_on_bot=True)
+
+    def switch(self) -> float:
+        """Seconds for eject + robot swap + load (excluding rewind)."""
+        return self.eject_s + self.robot_swap_s + self.load_s
+
+    def switch_with_rewind(self, from_mb: float) -> float:
+        """Seconds for a full tape switch starting at head position ``from_mb``."""
+        return self.rewind(from_mb) + self.switch()
+
+    # ------------------------------------------------------------------
+    # Derived constants used by the Theorem 2 bound (Section 3.3)
+    # ------------------------------------------------------------------
+    @property
+    def short_forward_startup_s(self) -> float:
+        """``C_s`` in Theorem 2: startup cost of a short forward locate."""
+        return self.forward_short.startup
+
+    @property
+    def long_short_startup_gap_s(self) -> float:
+        """``C_d`` in Theorem 2: long minus short forward startup."""
+        return self.forward_long.startup - self.forward_short.startup
+
+    def block_transfer_s(self, block_mb: float) -> float:
+        """``C_r`` in Theorem 2: transfer time for one data block."""
+        return self.read_s_per_mb * block_mb
+
+    # ------------------------------------------------------------------
+    def scaled(self, speedup: float) -> "DriveTimingModel":
+        """A model in which every time cost is divided by ``speedup``.
+
+        Used for the paper's sensitivity claim that a faster drive does
+        not change the qualitative conclusions.
+        """
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup!r}")
+        scale = 1.0 / speedup
+
+        def seg(segment: LinearSegment) -> LinearSegment:
+            return LinearSegment(segment.startup * scale, segment.rate * scale)
+
+        return replace(
+            self,
+            forward_short=seg(self.forward_short),
+            forward_long=seg(self.forward_long),
+            reverse_short=seg(self.reverse_short),
+            reverse_long=seg(self.reverse_long),
+            bot_overhead_s=self.bot_overhead_s * scale,
+            read_startup_after_forward_s=self.read_startup_after_forward_s * scale,
+            read_s_per_mb=self.read_s_per_mb * scale,
+            eject_s=self.eject_s * scale,
+            robot_swap_s=self.robot_swap_s * scale,
+            load_s=self.load_s * scale,
+        )
+
+
+#: The paper's measured Exabyte EXB-8505XL / EXB-210 model.
+EXB_8505XL = DriveTimingModel()

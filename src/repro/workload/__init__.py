@@ -1,0 +1,29 @@
+"""Workload substrate: request records, skew model, and arrival sources."""
+
+from .closed import ClosedSource
+from .clustered import ClusteredClosedSource
+from .open import OpenSource
+from .requests import Request, RequestFactory
+from .skew import HotColdSkew, UniformSkew
+from .zipf import ZipfSkew
+from .trace import (
+    ClosedReplaySource,
+    OpenReplaySource,
+    TraceRecord,
+    TraceRecorder,
+)
+
+__all__ = [
+    "ClosedReplaySource",
+    "ClosedSource",
+    "ClusteredClosedSource",
+    "HotColdSkew",
+    "OpenReplaySource",
+    "OpenSource",
+    "Request",
+    "RequestFactory",
+    "TraceRecord",
+    "TraceRecorder",
+    "UniformSkew",
+    "ZipfSkew",
+]

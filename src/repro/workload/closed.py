@@ -1,0 +1,50 @@
+"""Closed-queueing request source (paper Section 4, first scenario).
+
+Models a fixed number of I/O-bound processes: the number of outstanding
+requests is held constant at the queue length.  A new request is
+generated immediately upon each completion, so any improvement to the
+service rate directly increases the request generation rate (and hence
+the measured throughput).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..layout.catalog import BlockCatalog
+from .requests import Request, RequestFactory
+from .skew import HotColdSkew
+
+
+class ClosedSource:
+    """Keeps exactly ``queue_length`` requests outstanding."""
+
+    #: Marker the simulator uses to decide completion behaviour.
+    is_closed = True
+
+    def __init__(
+        self,
+        queue_length: int,
+        skew: HotColdSkew,
+        catalog: BlockCatalog,
+        rng: random.Random,
+        factory: RequestFactory = None,
+    ) -> None:
+        if queue_length <= 0:
+            raise ValueError(f"queue_length must be positive, got {queue_length!r}")
+        self.queue_length = queue_length
+        self.skew = skew
+        self.catalog = catalog
+        self.rng = rng
+        self.factory = factory if factory is not None else RequestFactory()
+
+    def initial_requests(self, now: float = 0.0) -> list:
+        """The population of requests outstanding at simulation start."""
+        return [
+            self.factory.create(self.skew.draw_block(self.rng, self.catalog), now)
+            for _slot in range(self.queue_length)
+        ]
+
+    def on_completion(self, now: float) -> Request:
+        """Generate the replacement request for a completed one."""
+        return self.factory.create(self.skew.draw_block(self.rng, self.catalog), now)

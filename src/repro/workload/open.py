@@ -1,0 +1,62 @@
+"""Open-queueing request source (paper Section 4, second scenario).
+
+Models a large pool of clients making sporadic requests: arrivals form a
+Poisson process with a configurable mean interarrival time, independent
+of the service rate.  A slow server therefore accumulates a long queue
+instead of throttling the arrival stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from ..layout.catalog import BlockCatalog
+from .requests import Request, RequestFactory
+from .skew import HotColdSkew
+
+
+class OpenSource:
+    """Poisson arrivals with mean interarrival ``mean_interarrival_s``."""
+
+    is_closed = False
+
+    def __init__(
+        self,
+        mean_interarrival_s: float,
+        skew: HotColdSkew,
+        catalog: BlockCatalog,
+        rng: random.Random,
+        factory: RequestFactory = None,
+    ) -> None:
+        if mean_interarrival_s <= 0:
+            raise ValueError(
+                f"mean_interarrival_s must be positive, got {mean_interarrival_s!r}"
+            )
+        self.mean_interarrival_s = mean_interarrival_s
+        self.skew = skew
+        self.catalog = catalog
+        self.rng = rng
+        self.factory = factory if factory is not None else RequestFactory()
+
+    def initial_requests(self, now: float = 0.0) -> list:
+        """Open systems start empty; the arrival process drives everything."""
+        return []
+
+    def on_completion(self, now: float) -> None:
+        """Completions do not trigger new arrivals in an open system."""
+        return None
+
+    def arrivals(self, horizon_s: float, start_s: float = 0.0) -> Iterator[Tuple[float, Request]]:
+        """Yield ``(arrival_time, request)`` pairs up to ``horizon_s``.
+
+        The simulator consumes this lazily from a DES process so the whole
+        arrival stream never materializes in memory.
+        """
+        now = start_s
+        while True:
+            now += self.rng.expovariate(1.0 / self.mean_interarrival_s)
+            if now > horizon_s:
+                return
+            block_id = self.skew.draw_block(self.rng, self.catalog)
+            yield now, self.factory.create(block_id, now)

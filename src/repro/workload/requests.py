@@ -1,0 +1,53 @@
+"""Request records and identity allocation.
+
+A request asks for one logical block (paper Section 2.2).  Requests are
+identified by a dense monotonically increasing id, which doubles as the
+arrival order used by the "oldest request" tape-selection policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Request:
+    """One outstanding read request for a logical block."""
+
+    request_id: int
+    block_id: int
+    arrival_s: float
+    completion_s: Optional[float] = None
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the block has been delivered."""
+        return self.completion_s is not None
+
+    @property
+    def response_s(self) -> float:
+        """Response time (completion minus arrival); requires completion."""
+        if self.completion_s is None:
+            raise RuntimeError(f"request {self.request_id} not complete")
+        return self.completion_s - self.arrival_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self.completion_s:g}" if self.is_complete else "pending"
+        return (
+            f"Request(id={self.request_id}, block={self.block_id}, "
+            f"arrived={self.arrival_s:g}, {state})"
+        )
+
+
+@dataclass
+class RequestFactory:
+    """Allocates request ids in arrival order."""
+
+    next_id: int = field(default=0)
+
+    def create(self, block_id: int, arrival_s: float) -> Request:
+        """Build the next request in sequence."""
+        request = Request(request_id=self.next_id, block_id=block_id, arrival_s=arrival_s)
+        self.next_id += 1
+        return request

@@ -1,0 +1,151 @@
+"""Workload trace recording and replay.
+
+Production studies often need to re-run the *same* request stream under
+different layouts or schedulers (the paper's parametric graphs hold the
+workload fixed while varying one axis).  A :class:`TraceRecorder` wraps
+any source and captures what it emitted; :class:`OpenReplaySource` and
+:class:`ClosedReplaySource` feed a captured (or hand-written) trace back
+into the simulator.
+
+Closed traces replay the *block-id sequence* only — arrival instants in
+a closed system are completion-driven, so they rightly differ when the
+configuration under test changes the service rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .requests import Request, RequestFactory
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded request."""
+
+    arrival_s: float
+    block_id: int
+
+
+class TraceRecorder:
+    """Wraps a request source, recording every request it emits."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.records: List[TraceRecord] = []
+
+    @property
+    def is_closed(self) -> bool:
+        """Mirrors the wrapped source's model."""
+        return self._inner.is_closed
+
+    def _record(self, request: Request) -> Request:
+        self.records.append(TraceRecord(request.arrival_s, request.block_id))
+        return request
+
+    def initial_requests(self, now: float = 0.0) -> list:
+        """Delegate and record."""
+        return [self._record(request) for request in self._inner.initial_requests(now)]
+
+    def on_completion(self, now: float):
+        """Delegate and record (closed sources emit replacements here)."""
+        request = self._inner.on_completion(now)
+        if request is not None:
+            self._record(request)
+        return request
+
+    def arrivals(self, horizon_s: float, start_s: float = 0.0):
+        """Delegate and record (open sources)."""
+        for arrival_s, request in self._inner.arrivals(horizon_s, start_s):
+            yield arrival_s, self._record(request)
+
+    def block_ids(self) -> List[int]:
+        """The recorded block-id sequence, in emission order."""
+        return [record.block_id for record in self.records]
+
+
+class OpenReplaySource:
+    """Replays a timed trace as an open-queueing arrival stream."""
+
+    is_closed = False
+
+    def __init__(self, records: Sequence[TraceRecord], factory: RequestFactory = None) -> None:
+        self._records = sorted(records, key=lambda record: record.arrival_s)
+        self.factory = factory if factory is not None else RequestFactory()
+
+    def initial_requests(self, now: float = 0.0) -> list:
+        """Open replays start empty (arrivals carry everything)."""
+        return []
+
+    def on_completion(self, now: float) -> None:
+        """Completions trigger nothing in an open system."""
+        return None
+
+    def arrivals(self, horizon_s: float, start_s: float = 0.0) -> Iterator[Tuple[float, Request]]:
+        """Yield the trace's requests up to ``horizon_s``."""
+        for record in self._records:
+            if record.arrival_s < start_s:
+                continue
+            if record.arrival_s > horizon_s:
+                return
+            yield record.arrival_s, self.factory.create(
+                record.block_id, record.arrival_s
+            )
+
+
+class ClosedReplaySource:
+    """Replays a block-id sequence under the closed-queueing discipline.
+
+    The first ``queue_length`` ids form the initial population; each
+    completion consumes the next id.  When the trace runs dry the replay
+    cycles (steady-state measurement needs an endless stream); set
+    ``cycle=False`` to stop generating instead, letting the queue drain.
+    """
+
+    is_closed = True
+
+    def __init__(
+        self,
+        queue_length: int,
+        block_ids: Sequence[int],
+        cycle: bool = True,
+        factory: RequestFactory = None,
+    ) -> None:
+        if queue_length <= 0:
+            raise ValueError(f"queue_length must be positive, got {queue_length!r}")
+        if len(block_ids) < queue_length:
+            raise ValueError(
+                f"trace of {len(block_ids)} ids cannot fill a queue of "
+                f"{queue_length}"
+            )
+        self.queue_length = queue_length
+        self._block_ids = list(block_ids)
+        self._cursor = 0
+        self._cycle = cycle
+        self.factory = factory if factory is not None else RequestFactory()
+
+    def _next_block(self):
+        if self._cursor >= len(self._block_ids):
+            if not self._cycle:
+                return None
+            self._cursor = 0
+        block_id = self._block_ids[self._cursor]
+        self._cursor += 1
+        return block_id
+
+    def initial_requests(self, now: float = 0.0) -> list:
+        """The first ``queue_length`` trace entries, all arriving now."""
+        requests = []
+        for _slot in range(self.queue_length):
+            block_id = self._next_block()
+            assert block_id is not None  # guarded by the length check
+            requests.append(self.factory.create(block_id, now))
+        return requests
+
+    def on_completion(self, now: float):
+        """The next trace entry, or ``None`` when a finite trace ends."""
+        block_id = self._next_block()
+        if block_id is None:
+            return None
+        return self.factory.create(block_id, now)

@@ -1,0 +1,63 @@
+"""Zipf-distributed access skew (extension beyond the paper's hot/cold).
+
+The paper deliberately uses a two-level hot/cold skew (PH, RH).  Real
+archives often show smoother rank-frequency skew; a Zipf law with
+exponent ``theta`` generalizes both extremes: ``theta = 0`` is uniform
+access, large ``theta`` concentrates traffic on the lowest-ranked
+blocks.  Rank equals block id, so ids below ``catalog.n_hot`` — the
+blocks the layouts replicate — are also the most popular, keeping the
+replication machinery meaningful under Zipf traffic.
+
+Sampling uses the inverse-CDF over precomputed cumulative weights,
+O(log n) per draw after an O(n) precomputation per catalog size.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List
+
+from ..layout.catalog import BlockCatalog
+
+
+class ZipfSkew:
+    """Zipf(``theta``) popularity over block ids (rank = id)."""
+
+    def __init__(self, theta: float = 1.0) -> None:
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta!r}")
+        self.theta = float(theta)
+        self._cdf_cache: Dict[int, List[float]] = {}
+
+    def _cdf(self, n_blocks: int) -> List[float]:
+        cdf = self._cdf_cache.get(n_blocks)
+        if cdf is None:
+            weights = [1.0 / (rank + 1) ** self.theta for rank in range(n_blocks)]
+            total = 0.0
+            cdf = []
+            for weight in weights:
+                total += weight
+                cdf.append(total)
+            self._cdf_cache[n_blocks] = cdf
+        return cdf
+
+    def draw_block(self, rng: random.Random, catalog: BlockCatalog) -> int:
+        """Draw one block id according to the Zipf law."""
+        n_blocks = catalog.n_blocks
+        if n_blocks == 0:
+            raise ValueError("catalog has no blocks to request")
+        cdf = self._cdf(n_blocks)
+        point = rng.random() * cdf[-1]
+        return bisect.bisect_left(cdf, point)
+
+    def popularity_of_top(self, fraction: float, n_blocks: int) -> float:
+        """Fraction of traffic hitting the top ``fraction`` of blocks.
+
+        The Zipf analogue of the paper's RH given PH = ``fraction``.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        cdf = self._cdf(n_blocks)
+        top = max(1, int(fraction * n_blocks))
+        return cdf[top - 1] / cdf[-1]

@@ -1,0 +1,65 @@
+"""Tests for the Section 4.8 cost-performance model."""
+
+import pytest
+
+from repro.analysis import (
+    cost_performance_curve,
+    cost_performance_ratio,
+    effective_queue_length,
+    expansion_table,
+)
+from repro.layout import expansion_factor
+
+
+class TestExpansion:
+    def test_no_replication_no_expansion(self):
+        assert expansion_factor(0, 10) == 1.0
+
+    def test_paper_example_ph10_nr9(self):
+        """PH-10 with full replication on 10 tapes: E = 1.9 — 'nearly half
+        of each tape is filled with replicas' (paper Section 4.5)."""
+        assert expansion_factor(9, 10) == pytest.approx(1.9)
+
+    def test_table_shape(self):
+        table = expansion_table(replica_counts=range(3), percent_hot_values=(10.0, 20.0))
+        assert set(table) == {10.0, 20.0}
+        assert table[10.0] == [(0, 1.0), (1, pytest.approx(1.1)), (2, pytest.approx(1.2))]
+        assert table[20.0][2] == (2, pytest.approx(1.4))
+
+
+class TestEffectiveQueue:
+    def test_scales_down_by_expansion(self):
+        assert effective_queue_length(60, 1.9) == 32
+        assert effective_queue_length(60, 1.0) == 60
+
+    def test_never_below_one(self):
+        assert effective_queue_length(1, 10.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_queue_length(0, 1.5)
+        with pytest.raises(ValueError):
+            effective_queue_length(10, 0.5)
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert cost_performance_ratio(110.0, 100.0) == pytest.approx(1.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            cost_performance_ratio(1.0, 0.0)
+
+
+class TestCurve:
+    def test_curve_runs_and_anchors_at_one(self):
+        curve = cost_performance_curve(
+            horizon_s=20_000.0,
+            percent_requests_hot=80.0,
+            replica_counts=(0, 9),
+            base_queue_length=40,
+        )
+        assert curve[0] == (0, 1.0)
+        replicas, ratio = curve[1]
+        assert replicas == 9
+        assert 0.5 < ratio < 2.0  # sane range; shape asserted in benches

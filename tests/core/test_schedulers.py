@@ -1,0 +1,178 @@
+"""Unit tests for FIFO, static, and dynamic scheduler families."""
+
+import pytest
+
+from repro.core import (
+    DynamicScheduler,
+    FifoScheduler,
+    MaxBandwidth,
+    MaxRequests,
+    ServiceList,
+    StaticScheduler,
+)
+
+from .conftest import catalog_from, make_context
+
+
+@pytest.fixture
+def catalog():
+    """Tape 0: blocks 0,1,2 at 0/16/32.  Tape 1: blocks 3,4 at 0/16.
+    Block 5 replicated on tape 0 (at 6000) and tape 2 (at 0)."""
+    return catalog_from(
+        [
+            [(0, 0.0)],
+            [(0, 16.0)],
+            [(0, 32.0)],
+            [(1, 0.0)],
+            [(1, 16.0)],
+            [(0, 6000.0), (2, 0.0)],
+        ]
+    )
+
+
+class TestFifo:
+    def test_services_one_request_in_arrival_order(self, catalog, factory):
+        context = make_context(catalog, tape_count=3)
+        late = factory.create(block_id=3, arrival_s=0.0)
+        early = factory.create(block_id=0, arrival_s=0.0)
+        context.pending.append(late)
+        context.pending.append(early)
+        decision = FifoScheduler().major_reschedule(context)
+        assert decision.tape_id == 1
+        assert [entry.block_id for entry in decision.entries] == [3]
+        assert len(context.pending) == 1  # the other request stays
+
+    def test_prefers_mounted_replica(self, catalog, factory):
+        context = make_context(catalog, tape_count=3, mounted=2)
+        request = factory.create(block_id=5, arrival_s=0.0)
+        context.pending.append(request)
+        decision = FifoScheduler().major_reschedule(context)
+        assert decision.tape_id == 2
+
+    def test_empty_pending_returns_none(self, catalog):
+        context = make_context(catalog, tape_count=3)
+        assert FifoScheduler().major_reschedule(context) is None
+
+    def test_arrivals_always_deferred(self, catalog, factory):
+        context = make_context(catalog, tape_count=3)
+        scheduler = FifoScheduler()
+        request = factory.create(block_id=0, arrival_s=0.0)
+        assert not scheduler.on_arrival(context, request)
+        assert request in context.pending
+
+
+class TestStatic:
+    def test_extracts_all_requests_for_chosen_tape(self, catalog, factory):
+        context = make_context(catalog, tape_count=3)
+        for block_id in (0, 1, 2, 3):
+            context.pending.append(factory.create(block_id=block_id, arrival_s=0.0))
+        scheduler = StaticScheduler(MaxRequests())
+        decision = scheduler.major_reschedule(context)
+        assert decision.tape_id == 0
+        assert sorted(entry.block_id for entry in decision.entries) == [0, 1, 2]
+        assert len(context.pending) == 1
+
+    def test_coalesces_duplicate_blocks(self, catalog, factory):
+        context = make_context(catalog, tape_count=3)
+        first = factory.create(block_id=0, arrival_s=0.0)
+        second = factory.create(block_id=0, arrival_s=1.0)
+        context.pending.append(first)
+        context.pending.append(second)
+        decision = StaticScheduler(MaxRequests()).major_reschedule(context)
+        assert len(decision.entries) == 1
+        assert len(decision.entries[0].requests) == 2
+        assert decision.request_count == 2
+
+    def test_static_defers_arrivals_even_for_current_tape(self, catalog, factory):
+        context = make_context(catalog, tape_count=3, mounted=0)
+        scheduler = StaticScheduler(MaxBandwidth())
+        context.service = ServiceList([], head_mb=0.0)
+        request = factory.create(block_id=1, arrival_s=5.0)
+        assert not scheduler.on_arrival(context, request)
+        assert request in context.pending
+
+    def test_name_includes_policy(self):
+        assert StaticScheduler(MaxRequests()).name == "static-max-requests"
+
+
+class TestDynamic:
+    def make_sweep_context(self, catalog, entries, head=0.0):
+        context = make_context(catalog, tape_count=3, mounted=0)
+        context.service = ServiceList(entries, head_mb=head)
+        return context
+
+    def test_inserts_arrival_for_mounted_tape(self, catalog, factory):
+        from repro.core import ServiceEntry
+
+        base_entry = ServiceEntry(position_mb=32.0, block_id=2, requests=[])
+        context = self.make_sweep_context(catalog, [base_entry])
+        scheduler = DynamicScheduler(MaxBandwidth())
+        request = factory.create(block_id=1, arrival_s=0.0)  # tape 0 @16
+        assert scheduler.on_arrival(context, request)
+        assert context.service.remaining_positions() == [16.0, 32.0]
+        assert len(context.pending) == 0
+
+    def test_coalesces_onto_scheduled_block(self, catalog, factory):
+        from repro.core import ServiceEntry
+
+        original = factory.create(block_id=2, arrival_s=0.0)
+        base_entry = ServiceEntry(position_mb=32.0, block_id=2, requests=[original])
+        context = self.make_sweep_context(catalog, [base_entry])
+        scheduler = DynamicScheduler(MaxBandwidth())
+        duplicate = factory.create(block_id=2, arrival_s=1.0)
+        assert scheduler.on_arrival(context, duplicate)
+        assert len(base_entry.requests) == 2
+
+    def test_defers_arrival_for_other_tape(self, catalog, factory):
+        context = self.make_sweep_context(catalog, [])
+        scheduler = DynamicScheduler(MaxBandwidth())
+        request = factory.create(block_id=3, arrival_s=0.0)  # tape 1 only
+        assert not scheduler.on_arrival(context, request)
+        assert request in context.pending
+
+    def test_defers_arrival_behind_head(self, catalog, factory):
+        from repro.core import ServiceEntry
+
+        entries = [ServiceEntry(position_mb=32.0, block_id=2, requests=[])]
+        context = self.make_sweep_context(catalog, entries)
+        context.service.pop_next()  # head driving to 32
+        scheduler = DynamicScheduler(MaxBandwidth())
+        request = factory.create(block_id=0, arrival_s=0.0)  # tape 0 @0
+        # Position 0 >= start head 0 but the forward sweep passed it.
+        assert not scheduler.on_arrival(context, request)
+        assert request in context.pending
+
+    def test_defers_when_no_sweep_active(self, catalog, factory):
+        context = make_context(catalog, tape_count=3, mounted=0)
+        scheduler = DynamicScheduler(MaxBandwidth())
+        request = factory.create(block_id=0, arrival_s=0.0)
+        assert not scheduler.on_arrival(context, request)
+
+    def test_name_includes_policy(self):
+        assert DynamicScheduler(MaxBandwidth()).name == "dynamic-max-bandwidth"
+
+
+class TestRegistry:
+    def test_all_families_present(self):
+        from repro.core import make_scheduler, scheduler_names
+
+        names = scheduler_names()
+        assert "fifo" in names
+        assert sum(name.startswith("static-") for name in names) == 5
+        assert sum(name.startswith("dynamic-") for name in names) == 5
+        assert sum(name.startswith("envelope-") for name in names) == 3
+        assert len(names) == 14
+
+    def test_unknown_name_raises(self):
+        from repro.core import make_scheduler
+
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            make_scheduler("nonsense")
+
+    def test_instances_are_fresh(self):
+        from repro.core import make_scheduler
+
+        first = make_scheduler("dynamic-max-bandwidth")
+        second = make_scheduler("dynamic-max-bandwidth")
+        assert first is not second
+        assert first.name == second.name == "dynamic-max-bandwidth"

@@ -1,0 +1,174 @@
+"""Unit and property tests for the sweep-ordered service list."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ServiceEntry, ServiceList, SweepPhase
+
+
+def entry(position, block_id=None):
+    return ServiceEntry(
+        position_mb=position, block_id=block_id if block_id is not None else int(position)
+    )
+
+
+class TestSweepOrder:
+    def test_forward_then_reverse_from_head(self):
+        service = ServiceList(
+            [entry(100), entry(50), entry(200), entry(10)], head_mb=60.0
+        )
+        order = []
+        while not service.is_empty:
+            order.append(service.pop_next().position_mb)
+            service.finish_in_flight()
+        assert order == [100, 200, 50, 10]
+
+    def test_all_forward_when_head_at_zero(self):
+        service = ServiceList([entry(30), entry(10), entry(20)], head_mb=0.0)
+        order = [service.pop_next().position_mb for _ in range(3)]
+        assert order == [10, 20, 30]
+
+    def test_block_at_head_counts_as_forward(self):
+        service = ServiceList([entry(60)], head_mb=60.0)
+        assert service.phase is SweepPhase.FORWARD
+
+    def test_empty_pop_raises(self):
+        service = ServiceList([], head_mb=0.0)
+        with pytest.raises(IndexError):
+            service.pop_next()
+
+    def test_phase_transitions(self):
+        service = ServiceList([entry(100), entry(10)], head_mb=50.0)
+        assert service.phase is SweepPhase.FORWARD
+        service.pop_next()
+        assert service.phase is SweepPhase.REVERSE
+        service.pop_next()
+        assert service.phase is SweepPhase.DONE
+
+    def test_len_and_remaining(self):
+        service = ServiceList([entry(10), entry(90)], head_mb=50.0)
+        assert len(service) == 2
+        assert service.remaining_positions() == [90, 10]
+        service.pop_next()
+        assert len(service) == 1
+
+    def test_in_flight_tracking(self):
+        service = ServiceList([entry(10)], head_mb=0.0)
+        popped = service.pop_next()
+        assert service.in_flight is popped
+        service.finish_in_flight()
+        assert service.in_flight is None
+
+    def test_find_block_only_sees_unstarted(self):
+        service = ServiceList([entry(10, block_id=7), entry(20, block_id=8)], head_mb=0.0)
+        assert service.find_block(7) is not None
+        service.pop_next()  # starts block 7
+        assert service.find_block(7) is None
+        assert service.find_block(8) is not None
+
+
+class TestInsertion:
+    def test_insert_before_sweep_starts(self):
+        service = ServiceList([entry(100)], head_mb=50.0)
+        assert service.insert(entry(70))
+        assert service.insert(entry(20))
+        assert service.remaining_positions() == [70, 100, 20]
+
+    def test_forward_insert_ahead_of_in_flight(self):
+        service = ServiceList([entry(100), entry(200)], head_mb=0.0)
+        service.pop_next()  # in flight at 100
+        assert service.insert(entry(150))
+        assert service.remaining_positions() == [150, 200]
+
+    def test_forward_insert_behind_in_flight_rejected(self):
+        service = ServiceList([entry(100), entry(200)], head_mb=0.0)
+        service.pop_next()
+        assert not service.insert(entry(50))
+
+    def test_insert_at_in_flight_position_rejected(self):
+        service = ServiceList([entry(100)], head_mb=0.0)
+        service.pop_next()
+        assert not service.insert(entry(100))
+
+    def test_reverse_insert_allowed_while_forward_running(self):
+        service = ServiceList([entry(100), entry(20)], head_mb=50.0)
+        service.pop_next()  # forward at 100
+        assert service.insert(entry(30))
+        assert service.remaining_positions() == [30, 20]
+
+    def test_forward_insert_rejected_once_reverse_started(self):
+        service = ServiceList([entry(20)], head_mb=50.0)
+        service.pop_next()  # reverse phase begins
+        assert not service.insert(entry(300))
+
+    def test_reverse_insert_respects_reverse_progress(self):
+        service = ServiceList([entry(40), entry(20)], head_mb=50.0)
+        service.pop_next()  # reverse at 40
+        assert not service.insert(entry(45))
+        assert service.insert(entry(10))
+        assert service.remaining_positions() == [20, 10]
+
+    def test_insert_between_reads_uses_last_started_position(self):
+        service = ServiceList([entry(100), entry(300)], head_mb=0.0)
+        service.pop_next()
+        service.finish_in_flight()
+        # Head finished 100..116; inserting at 110 would be behind it.
+        assert not service.insert(entry(50))
+        assert service.insert(entry(200))
+        assert service.remaining_positions() == [200, 300]
+
+
+@given(
+    positions=st.lists(
+        st.floats(min_value=0, max_value=7000, allow_nan=False),
+        min_size=1,
+        max_size=40,
+        unique=True,
+    ),
+    head=st.floats(min_value=0, max_value=7000, allow_nan=False),
+)
+def test_sweep_is_monotone_forward_then_reverse(positions, head):
+    """Property: execution order is ascending above the head, then
+    descending below it — one physical direction change at most."""
+    service = ServiceList([entry(position) for position in positions], head_mb=head)
+    order = []
+    while not service.is_empty:
+        order.append(service.pop_next().position_mb)
+        service.finish_in_flight()
+    forward = [position for position in order if position >= head]
+    reverse = [position for position in order if position < head]
+    assert order == forward + reverse
+    assert forward == sorted(forward)
+    assert reverse == sorted(reverse, reverse=True)
+    assert sorted(order) == sorted(positions)
+
+
+@given(
+    initial=st.lists(
+        st.integers(min_value=0, max_value=400), min_size=1, max_size=20, unique=True
+    ),
+    inserts=st.lists(
+        st.integers(min_value=0, max_value=400), min_size=1, max_size=20, unique=True
+    ),
+    head=st.integers(min_value=0, max_value=400),
+    pops_before_insert=st.integers(min_value=0, max_value=5),
+)
+def test_inserted_entries_never_behind_sweep(initial, inserts, head, pops_before_insert):
+    """Property: after any interleaving of pops and accepted inserts, the
+    executed order remains a valid single sweep."""
+    service = ServiceList([entry(position * 16.0) for position in initial], head_mb=head * 16.0)
+    executed = []
+    for _ in range(min(pops_before_insert, len(service))):
+        executed.append(service.pop_next().position_mb)
+        service.finish_in_flight()
+    for position in inserts:
+        service.insert(entry(position * 16.0 + 8.0))  # offset to avoid collisions
+    while not service.is_empty:
+        executed.append(service.pop_next().position_mb)
+        service.finish_in_flight()
+    head_mb = head * 16.0
+    forward = [position for position in executed if position >= head_mb]
+    reverse = [position for position in executed if position < head_mb]
+    assert executed == forward + reverse
+    assert forward == sorted(forward)
+    assert reverse == sorted(reverse, reverse=True)

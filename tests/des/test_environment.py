@@ -1,0 +1,104 @@
+"""Unit tests for the environment's clock and scheduler."""
+
+import pytest
+
+from repro.des import EmptySchedule, Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_advances_clock_even_with_no_events(self, env):
+        env.run(until=50.0)
+        assert env.now == 50.0
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_schedule_in_past_rejected(self, env):
+        event = env.event()
+        with pytest.raises(ValueError):
+            env.schedule(event, delay=-1.0)
+
+
+class TestStep:
+    def test_step_empty_heap_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_empty_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_step_processes_single_event(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.step()
+        assert env.now == 1.0
+        assert env.peek() == 2.0
+
+
+class TestRun:
+    def test_run_exhausts_heap(self, env):
+        env.timeout(1.0)
+        env.timeout(9.0)
+        env.run()
+        assert env.now == 9.0
+        assert env.peek() == float("inf")
+
+    def test_run_until_excludes_boundary_events(self, env):
+        fired = []
+        env.timeout(5.0).add_callback(lambda e: fired.append(5.0))
+        env.run(until=5.0)
+        # The event at exactly t=5 has NOT run; the clock sits at 5.
+        assert fired == []
+        assert env.now == 5.0
+        env.run()
+        assert fired == [5.0]
+
+    def test_run_until_event_returns_value(self, env):
+        event = env.event()
+        env.timeout(2.0).add_callback(lambda e: event.succeed("done"))
+        assert env.run_until_event(event) == "done"
+        assert env.now == 2.0
+
+    def test_run_until_event_raises_on_failure(self, env):
+        event = env.event()
+        env.timeout(1.0).add_callback(lambda e: event.fail(KeyError("k")))
+        with pytest.raises(KeyError):
+            env.run_until_event(event)
+
+    def test_run_until_event_never_fires_raises(self, env):
+        event = env.event()
+        with pytest.raises(EmptySchedule):
+            env.run_until_event(event)
+
+
+class TestDeterminism:
+    def test_interleaved_schedules_are_reproducible(self):
+        def trace():
+            env = Environment()
+            order = []
+            for index, delay in enumerate([3.0, 1.0, 2.0, 1.0, 3.0]):
+                env.timeout(delay).add_callback(
+                    lambda e, index=index: order.append(index)
+                )
+            env.run()
+            return order
+
+        assert trace() == trace() == [1, 3, 2, 0, 4]

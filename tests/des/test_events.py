@@ -1,0 +1,162 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.des import (
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_new_event_is_untriggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+        with pytest.raises(RuntimeError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(41)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 41
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_records_exception(self, env):
+        event = env.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert not event.ok
+        assert event.value is error
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(seen.append)
+        event.succeed("x")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == [event]
+        assert event.processed
+
+    def test_callback_added_after_processing_runs_immediately(self, env):
+        event = env.event()
+        event.succeed()
+        env.run()
+        seen = []
+        event.add_callback(seen.append)
+        assert seen == [event]
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_fires_at_delay(self, env):
+        timeout = env.timeout(7.5)
+        env.run()
+        assert env.now == 7.5
+        assert timeout.processed
+
+    def test_timeout_carries_value(self, env):
+        timeout = env.timeout(1.0, value="payload")
+        env.run()
+        assert timeout.value == "payload"
+
+    def test_zero_delay_timeout_fires_now(self, env):
+        timeout = env.timeout(0.0)
+        env.run()
+        assert env.now == 0.0
+        assert timeout.processed
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        env.timeout(3.0).add_callback(lambda e: order.append(3))
+        env.timeout(1.0).add_callback(lambda e: order.append(1))
+        env.timeout(2.0).add_callback(lambda e: order.append(2))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo_order(self, env):
+        order = []
+        for tag in range(5):
+            env.timeout(1.0).add_callback(lambda e, tag=tag: order.append(tag))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestCompositeEvents:
+    def test_any_of_fires_on_first(self, env):
+        slow = env.timeout(10.0)
+        fast = env.timeout(2.0)
+        any_event = env.any_of([slow, fast])
+        env.run_until_event(any_event)
+        assert env.now == 2.0
+        assert any_event.value is fast
+
+    def test_any_of_empty_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.any_of([])
+
+    def test_all_of_waits_for_all(self, env):
+        events = [env.timeout(delay, value=delay) for delay in (1.0, 5.0, 3.0)]
+        all_event = env.all_of(events)
+        value = env.run_until_event(all_event)
+        assert env.now == 5.0
+        assert value == [1.0, 5.0, 3.0]
+
+    def test_all_of_empty_succeeds_immediately(self, env):
+        all_event = env.all_of([])
+        assert all_event.triggered
+
+    def test_all_of_propagates_failure(self, env):
+        good = env.timeout(1.0)
+        bad = env.event()
+        bad.fail(RuntimeError("nope"))
+        all_event = env.all_of([good, bad])
+        with pytest.raises(RuntimeError, match="nope"):
+            env.run_until_event(all_event)
+
+    def test_priority_urgent_before_normal(self, env):
+        order = []
+        normal = env.event()
+        urgent = env.event()
+        normal.add_callback(lambda e: order.append("normal"))
+        urgent.add_callback(lambda e: order.append("urgent"))
+        normal.succeed(priority=PRIORITY_NORMAL)
+        urgent.succeed(priority=PRIORITY_URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]

@@ -1,0 +1,179 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_runs_to_completion(self, env):
+        log = []
+
+        def body(env):
+            log.append(("start", env.now))
+            yield env.timeout(4.0)
+            log.append(("middle", env.now))
+            yield env.timeout(6.0)
+            log.append(("end", env.now))
+
+        env.process(body(env))
+        env.run()
+        assert log == [("start", 0.0), ("middle", 4.0), ("end", 10.0)]
+
+    def test_process_return_value(self, env):
+        def body(env):
+            yield env.timeout(1.0)
+            return 99
+
+        process = env.process(body(env))
+        env.run()
+        assert process.value == 99
+
+    def test_process_is_alive_until_done(self, env):
+        def body(env):
+            yield env.timeout(5.0)
+
+        process = env.process(body(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_waiting_on_another_process(self, env):
+        def child(env):
+            yield env.timeout(3.0)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"got {result}"
+
+        parent_process = env.process(parent(env))
+        env.run()
+        assert parent_process.value == "got child-result"
+        assert env.now == 3.0
+
+    def test_timeout_value_is_sent_into_generator(self, env):
+        received = []
+
+        def body(env):
+            value = yield env.timeout(1.0, value="hello")
+            received.append(value)
+
+        env.process(body(env))
+        env.run()
+        assert received == ["hello"]
+
+    def test_yielding_non_event_raises(self, env):
+        def body(env):
+            yield 42
+
+        env.process(body(env))
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_unwaited_crash_propagates(self, env):
+        def body(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("kaboom")
+
+        env.process(body(env))
+        with pytest.raises(RuntimeError, match="kaboom"):
+            env.run()
+
+    def test_waited_crash_delivered_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        parent_process = env.process(parent(env))
+        env.run()
+        assert parent_process.value == "caught inner"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(5.0)
+            victim.interrupt(cause="wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [(5.0, "wake up")]
+
+    def test_interrupting_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1.0)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self, env):
+        """The abandoned timeout firing later must not resume the process."""
+        resumed = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                yield env.timeout(100.0)
+                resumed.append("post-interrupt")
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        # Only the post-interrupt continuation ran; the abandoned t=10
+        # wakeup did not resume the generator a second time.
+        assert resumed == ["post-interrupt"]
+        assert env.now == 101.0
+
+    def test_interrupt_continues_process_life(self, env):
+        def resilient(env):
+            total = 0.0
+            while total < 3:
+                try:
+                    yield env.timeout(50.0)
+                    total += 50
+                except Interrupt:
+                    total += 1
+            return total
+
+        def pokes(env, victim):
+            for _ in range(3):
+                yield env.timeout(1.0)
+                victim.interrupt()
+
+        victim = env.process(resilient(env))
+        env.process(pokes(env, victim))
+        env.run()
+        assert victim.value == 3

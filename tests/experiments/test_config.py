@@ -1,0 +1,62 @@
+"""Tests for experiment configuration validation."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.layout import Layout
+
+
+class TestConfigValidation:
+    def test_default_is_closed_model(self):
+        config = ExperimentConfig()
+        assert config.is_closed
+        assert config.queue_length == 60
+
+    def test_open_model(self):
+        config = ExperimentConfig(queue_length=None, mean_interarrival_s=120.0)
+        assert not config.is_closed
+
+    def test_both_models_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(queue_length=60, mean_interarrival_s=120.0)
+
+    def test_neither_model_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(queue_length=None, mean_interarrival_s=None)
+
+    def test_warmup_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(warmup_fraction=-0.1)
+
+    def test_horizon_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(horizon_s=0)
+
+    def test_drive_speedup_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(drive_speedup=0)
+
+    def test_warmup_seconds(self):
+        config = ExperimentConfig(horizon_s=100_000, warmup_fraction=0.2)
+        assert config.warmup_s == pytest.approx(20_000)
+
+    def test_with_overrides(self):
+        base = ExperimentConfig()
+        changed = base.with_(replicas=9, start_position=1.0)
+        assert changed.replicas == 9
+        assert changed.start_position == 1.0
+        assert base.replicas == 0  # frozen original untouched
+
+    def test_describe_uses_paper_notation(self):
+        text = ExperimentConfig(
+            percent_hot=10, percent_requests_hot=40, replicas=9, start_position=1.0,
+            layout=Layout.VERTICAL,
+        ).describe()
+        assert "PH-10" in text
+        assert "RH-40" in text
+        assert "NR-9" in text
+        assert "SP-1" in text
+        assert "vertical" in text
+        assert "Q-60" in text

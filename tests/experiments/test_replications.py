@@ -1,0 +1,68 @@
+"""Tests for the independent-replications harness."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.replications import (
+    ReplicationReport,
+    replicate,
+    significantly_better,
+)
+from repro.layout import Layout
+
+FAST = dict(horizon_s=25_000.0)
+
+
+class TestReplicate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(ExperimentConfig(**FAST), replications=0)
+
+    def test_runs_distinct_seeds(self):
+        report = replicate(ExperimentConfig(**FAST), replications=3)
+        assert report.replications == 3
+        seeds = {result.config.seed for result in report.results}
+        assert len(seeds) == 3
+        values = report.throughput_kb_s.values
+        assert len(set(values)) == 3  # streams genuinely differ
+
+    def test_interval_brackets_values(self):
+        report = replicate(ExperimentConfig(**FAST), replications=4)
+        interval = report.throughput_kb_s.interval
+        assert interval.low < interval.mean < interval.high
+        assert min(report.throughput_kb_s.values) <= interval.mean
+        assert interval.mean <= max(report.throughput_kb_s.values)
+
+    def test_single_replication_infinite_width(self):
+        report = replicate(ExperimentConfig(**FAST), replications=1)
+        assert report.throughput_kb_s.interval.half_width == float("inf")
+
+    def test_reproducible(self):
+        first = replicate(ExperimentConfig(**FAST), replications=2)
+        second = replicate(ExperimentConfig(**FAST), replications=2)
+        assert first.throughput_kb_s.values == second.throughput_kb_s.values
+
+
+class TestSignificance:
+    def test_replication_vs_baseline_is_significant(self):
+        """The headline full-replication win survives proper error bars."""
+        baseline = replicate(ExperimentConfig(queue_length=60, **FAST), replications=3)
+        improved = replicate(
+            ExperimentConfig(
+                queue_length=60,
+                layout=Layout.VERTICAL,
+                replicas=9,
+                start_position=1.0,
+                scheduler="envelope-max-bandwidth",
+                **FAST,
+            ),
+            replications=3,
+        )
+        assert significantly_better(improved, baseline, "throughput_kb_s")
+        assert significantly_better(improved, baseline, "mean_response_s")
+
+    def test_identical_configs_not_significant(self):
+        first = replicate(ExperimentConfig(**FAST), replications=3)
+        second = replicate(ExperimentConfig(seed=99, **FAST), replications=3)
+        assert not significantly_better(first, second)
+        assert not significantly_better(second, first)

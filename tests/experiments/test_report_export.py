@@ -1,0 +1,95 @@
+"""Tests for CSV/Markdown exports and the extended CLI."""
+
+import pytest
+
+from repro.experiments.figures import figure6, figure10a
+from repro.report import curve_to_csv, figure_to_csv, figure_to_markdown
+
+
+@pytest.fixture(scope="module")
+def analytic_figure():
+    return figure10a(replica_counts=(0, 2), percent_hot_values=(10.0, 20.0))
+
+
+@pytest.fixture(scope="module")
+def curve_figure():
+    return figure6(horizon_s=6_000.0, replica_counts=(0,), queue_lengths=(10, 20))
+
+
+class TestCsvExport:
+    def test_xy_figure(self, analytic_figure):
+        csv = figure_to_csv(analytic_figure)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert "PH-10,0,1.0" in lines
+        assert len(lines) == 1 + 2 * 2  # header + 2 series x 2 points
+
+    def test_curve_figure(self, curve_figure):
+        csv = figure_to_csv(curve_figure)
+        lines = csv.strip().splitlines()
+        assert lines[0] == (
+            "series,queue,kb_per_s,req_per_min,delay_s,switches_per_h"
+        )
+        assert len(lines) == 3  # header + two queue points
+        assert lines[1].startswith("NR-0,10")
+
+    def test_curve_to_csv_single_series(self, curve_figure):
+        csv = curve_to_csv("NR-0", curve_figure.series["NR-0"])
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("queue,")
+        assert len(lines) == 3
+
+    def test_csv_round_trips_floats(self, curve_figure):
+        csv = figure_to_csv(curve_figure)
+        data_line = csv.strip().splitlines()[1].split(",")
+        assert float(data_line[2]) > 0  # kb_per_s parses back
+
+
+class TestMarkdownExport:
+    def test_headers_present(self, analytic_figure):
+        markdown = figure_to_markdown(analytic_figure)
+        assert "### Figure 10a" in markdown
+        assert "**PH-10**" in markdown
+        assert "| x | y |" in markdown
+        assert "|---|---|" in markdown
+
+    def test_curve_columns(self, curve_figure):
+        markdown = figure_to_markdown(curve_figure)
+        assert "| queue | kb_per_s | req_per_min | delay_s | switches_per_h |" in markdown
+
+
+class TestCliExtensions:
+    def test_figure_csv_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "10a", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,x,y")
+
+    def test_figure_markdown_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "10a", "--format", "markdown"]) == 0
+        assert "### Figure 10a" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["sweep", "--queues", "10,20", "--horizon", "6000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "dynamic-max-bandwidth" in out
+        assert "queue" in out
+
+    def test_run_with_serpentine(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["run", "--technology", "serpentine", "--queue", "10",
+                 "--horizon", "6000"]
+            )
+            == 0
+        )
+        assert "KB/s" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for JSON result persistence and ASCII plotting."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.store import (
+    FORMAT_VERSION,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.report.plot import ascii_scatter, plot_throughput_delay
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(queue_length=10, horizon_s=8_000.0))
+
+
+class TestResultStore:
+    def test_round_trip_dict(self, result):
+        payload = result_to_dict(result)
+        assert payload["version"] == FORMAT_VERSION
+        restored = result_from_dict(payload)
+        assert restored.config == result.config
+        assert restored.report == result.report
+
+    def test_round_trip_file(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result, result], path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0].throughput_kb_s == result.throughput_kb_s
+
+    def test_layout_enum_serialized_as_value(self, result):
+        payload = result_to_dict(result)
+        assert payload["config"]["layout"] == "horizontal"
+
+    def test_version_checked(self, result):
+        payload = result_to_dict(result)
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_non_array_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(ValueError, match="array"):
+            load_results(path)
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_scatter({}) == "(no data)"
+        assert ascii_scatter({"a": []}) == "(no data)"
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": [(0, 0)]}, width=4, height=2)
+
+    def test_markers_and_legend(self):
+        plot = ascii_scatter(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            width=16,
+            height=8,
+        )
+        assert "o=up" in plot
+        assert "x=down" in plot
+        assert plot.count("o") >= 2  # two plotted points (plus legend)
+
+    def test_corners_map_to_extremes(self):
+        plot = ascii_scatter({"s": [(0, 0), (10, 10)]}, width=20, height=10)
+        lines = plot.splitlines()
+        grid = [line[1:] for line in lines[1:11]]
+        assert grid[0].rstrip().endswith("o")  # max y, max x: top right
+        assert grid[-1].lstrip("|").startswith("o")  # min y, min x: bottom left
+
+    def test_plot_figure_data(self):
+        from repro.experiments.figures import figure10a
+
+        data = figure10a(replica_counts=(0, 3, 6, 9), percent_hot_values=(10.0, 30.0))
+        plot = plot_throughput_delay(data)
+        assert "legend" in plot
+        assert "PH-10" in plot
+
+    def test_plot_curvepoints(self):
+        from repro.experiments.figures import figure6
+
+        data = figure6(horizon_s=6_000.0, replica_counts=(0,), queue_lengths=(10, 20))
+        plot = plot_throughput_delay(data)
+        assert "throughput KB/s" in plot
+        assert "mean delay s" in plot

@@ -1,0 +1,111 @@
+"""Tests for the Section 4.8 jukebox-filling lifecycle planner."""
+
+import pytest
+
+from repro.layout import Layout, build_catalog, validate_catalog
+from repro.layout.lifecycle import LifecyclePlanner, LifecycleStage
+
+TAPES = 10
+CAPACITY = 7 * 1024.0
+SLOTS = int(CAPACITY // 16) * TAPES  # 4480
+
+
+@pytest.fixture
+def planner():
+    return LifecyclePlanner(tape_count=TAPES, capacity_mb=CAPACITY)
+
+
+class TestValidation:
+    def test_needs_two_tapes(self):
+        with pytest.raises(ValueError):
+            LifecyclePlanner(tape_count=1, capacity_mb=CAPACITY)
+
+    def test_percent_hot_bounds(self):
+        with pytest.raises(ValueError):
+            LifecyclePlanner(tape_count=5, capacity_mb=CAPACITY, percent_hot=0.0)
+
+    def test_data_volume_bounds(self, planner):
+        with pytest.raises(ValueError):
+            planner.max_replicas_for(0)
+        with pytest.raises(ValueError):
+            planner.max_replicas_for(SLOTS + 1)
+
+    def test_schedule_fraction_bounds(self, planner):
+        with pytest.raises(ValueError):
+            planner.schedule([1.5])
+
+
+class TestMaxReplicas:
+    def test_half_full_jukebox_fits_full_replication(self, planner):
+        """At ~53% fill, spare capacity covers 9 replicas of the hot 10%."""
+        data_blocks = int(SLOTS * 0.52)
+        assert planner.max_replicas_for(data_blocks) == TAPES - 1
+
+    def test_tape_count_caps_replicas(self, planner):
+        """A nearly empty jukebox is capped by one-copy-per-tape."""
+        assert planner.max_replicas_for(100) == TAPES - 1
+
+    def test_full_jukebox_fits_none(self, planner):
+        assert planner.max_replicas_for(SLOTS) == 0
+
+    def test_replicas_shrink_monotonically_with_fill(self, planner):
+        previous = TAPES
+        for fraction in (0.3, 0.5, 0.7, 0.85, 0.95, 1.0):
+            replicas = planner.max_replicas_for(int(SLOTS * fraction))
+            assert replicas <= previous
+            previous = replicas
+
+
+class TestStages:
+    def test_filling_stage_while_replicas_fit(self, planner):
+        assert planner.stage_of(int(SLOTS * 0.5)) is LifecycleStage.FILLING
+
+    def test_near_overflow_keeps_vertical_until_cold_overflows(self, planner):
+        """Just past the last replica slot but cold still fits on 9 tapes."""
+        data_blocks = int(SLOTS * 0.95)
+        assert planner.max_replicas_for(data_blocks) == 0
+        assert planner.stage_of(data_blocks) is LifecycleStage.NEAR_OVERFLOW
+
+    def test_recaptured_at_the_brim(self, planner):
+        assert planner.stage_of(SLOTS) is LifecycleStage.RECAPTURED
+
+
+class TestPlans:
+    def test_filling_plan_matches_paper(self, planner):
+        plan = planner.plan(int(SLOTS * 0.5))
+        assert plan.stage is LifecycleStage.FILLING
+        assert plan.spec.layout is Layout.VERTICAL
+        assert plan.spec.start_position == 1.0  # replicas at tape ends
+        assert plan.replicas == TAPES - 1
+
+    def test_recaptured_plan_is_paper_baseline(self, planner):
+        plan = planner.plan(SLOTS)
+        assert plan.spec.layout is Layout.HORIZONTAL
+        assert plan.spec.replicas == 0
+        assert plan.spec.start_position == 0.0  # hot at beginnings
+        assert plan.base_utilization == pytest.approx(1.0)
+
+    def test_every_plan_builds_a_valid_catalog(self, planner):
+        """The planner's specs must be realizable on the hardware."""
+        for fraction in (0.3, 0.6, 0.8, 1.0):
+            plan = planner.plan(int(SLOTS * fraction))
+            catalog = build_catalog(plan.spec, TAPES, CAPACITY)
+            validate_catalog(
+                catalog, TAPES, CAPACITY, expected_replicas=plan.spec.replicas
+            )
+
+    def test_schedule_traces_the_lifecycle(self, planner):
+        plans = planner.schedule((0.4, 0.7, 0.9, 1.0))
+        stages = [plan.stage for plan in plans]
+        assert stages[0] is LifecycleStage.FILLING
+        assert stages[-1] is LifecycleStage.RECAPTURED
+        # Stages never regress as the jukebox fills.
+        order = [LifecycleStage.FILLING, LifecycleStage.NEAR_OVERFLOW,
+                 LifecycleStage.RECAPTURED]
+        indices = [order.index(stage) for stage in stages]
+        assert indices == sorted(indices)
+
+    def test_replica_count_decreases_along_schedule(self, planner):
+        plans = planner.schedule((0.3, 0.5, 0.7, 0.9))
+        replica_counts = [plan.replicas for plan in plans]
+        assert replica_counts == sorted(replica_counts, reverse=True)

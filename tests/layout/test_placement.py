@@ -1,0 +1,208 @@
+"""Unit and property tests for layout builders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import (
+    Layout,
+    PlacementSpec,
+    build_catalog,
+    expansion_factor,
+    logical_block_budget,
+    validate_catalog,
+)
+
+CAPACITY_MB = 7.0 * 1024
+TAPES = 10
+SLOTS = int(CAPACITY_MB // 16) * TAPES  # 4480 sixteen-MB slots
+
+
+class TestSpecValidation:
+    def test_percent_hot_bounds(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(percent_hot=-1)
+        with pytest.raises(ValueError):
+            PlacementSpec(percent_hot=101)
+
+    def test_negative_replicas(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(replicas=-1)
+
+    def test_start_position_bounds(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(start_position=1.5)
+
+    def test_block_size_positive(self):
+        with pytest.raises(ValueError):
+            PlacementSpec(block_mb=0)
+
+    def test_expansion_factor(self):
+        assert PlacementSpec(percent_hot=10, replicas=9).expansion_factor == pytest.approx(1.9)
+        assert expansion_factor(0, 10) == 1.0
+        assert expansion_factor(4, 25) == pytest.approx(2.0)
+
+
+class TestBudget:
+    def test_no_replication_uses_all_slots(self):
+        n_logical, n_hot = logical_block_budget(SLOTS, replicas=0, percent_hot=10)
+        assert n_logical == SLOTS
+        assert n_hot == SLOTS // 10
+
+    def test_full_replication_budget_fits(self):
+        n_logical, n_hot = logical_block_budget(SLOTS, replicas=9, percent_hot=10)
+        assert n_logical + 9 * n_hot <= SLOTS
+        # Within one block of the analytic capacity / E.
+        assert n_logical == pytest.approx(SLOTS / 1.9, abs=2)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            logical_block_budget(0, 0, 10)
+
+    @given(
+        replicas=st.integers(min_value=0, max_value=9),
+        percent_hot=st.floats(min_value=0, max_value=50, allow_nan=False),
+    )
+    def test_budget_always_feasible(self, replicas, percent_hot):
+        n_logical, n_hot = logical_block_budget(SLOTS, replicas, percent_hot)
+        assert n_logical + replicas * n_hot <= SLOTS
+        assert 0 <= n_hot <= n_logical
+
+
+class TestHorizontalLayout:
+    def test_no_replication_fills_jukebox(self):
+        spec = PlacementSpec(layout=Layout.HORIZONTAL, percent_hot=10, replicas=0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=0)
+        assert catalog.n_blocks == SLOTS
+        assert catalog.n_hot == SLOTS // 10
+
+    def test_hot_blocks_spread_over_all_tapes(self):
+        spec = PlacementSpec(layout=Layout.HORIZONTAL, percent_hot=10, replicas=0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        hot_per_tape = {tape_id: 0 for tape_id in range(TAPES)}
+        for block_id in range(catalog.n_hot):
+            replica = catalog.replicas_of(block_id)[0]
+            hot_per_tape[replica.tape_id] += 1
+        counts = set(hot_per_tape.values())
+        assert max(counts) - min(counts) <= 1  # even spread
+
+    def test_sp0_places_hot_at_beginning(self):
+        spec = PlacementSpec(percent_hot=10, replicas=0, start_position=0.0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        slots_per_tape = int(CAPACITY_MB // 16)
+        hot_slots = catalog.n_hot // TAPES
+        for tape_id in range(TAPES):
+            contents = catalog.tape_contents(tape_id)
+            leading = [block for _pos, block in contents[:hot_slots]]
+            assert all(catalog.is_hot(block) for block in leading)
+
+    def test_sp1_places_hot_at_end(self):
+        spec = PlacementSpec(percent_hot=10, replicas=0, start_position=1.0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        hot_slots = catalog.n_hot // TAPES
+        for tape_id in range(TAPES):
+            contents = catalog.tape_contents(tape_id)
+            trailing = [block for _pos, block in contents[-hot_slots:]]
+            assert all(catalog.is_hot(block) for block in trailing)
+
+    def test_sp_half_places_hot_in_middle(self):
+        spec = PlacementSpec(percent_hot=10, replicas=0, start_position=0.5)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        contents = catalog.tape_contents(0)
+        hot_positions = [
+            position for position, block in contents if catalog.is_hot(block)
+        ]
+        tape_extent = contents[-1][0]
+        center = sum(hot_positions) / len(hot_positions)
+        assert 0.3 * tape_extent < center < 0.7 * tape_extent
+
+    def test_full_replication_every_tape_has_every_hot_block(self):
+        spec = PlacementSpec(percent_hot=10, replicas=9, start_position=1.0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=9)
+        for block_id in range(catalog.n_hot):
+            tapes = {replica.tape_id for replica in catalog.replicas_of(block_id)}
+            assert tapes == set(range(TAPES))
+
+    def test_replicas_exceeding_tapes_rejected(self):
+        spec = PlacementSpec(percent_hot=10, replicas=10)
+        with pytest.raises(ValueError):
+            build_catalog(spec, TAPES, CAPACITY_MB)
+
+    def test_block_too_large_rejected(self):
+        spec = PlacementSpec(block_mb=CAPACITY_MB * 2)
+        with pytest.raises(ValueError):
+            build_catalog(spec, TAPES, CAPACITY_MB)
+
+
+class TestVerticalLayout:
+    def test_no_replication_dedicates_one_tape(self):
+        """PH-10 on 10 tapes: the hot tape is completely hot (paper 4.3)."""
+        spec = PlacementSpec(layout=Layout.VERTICAL, percent_hot=10, replicas=0)
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=0)
+        hot_tape_blocks = catalog.blocks_on_tape(0)
+        assert len(hot_tape_blocks) == int(CAPACITY_MB // 16)
+        assert all(catalog.is_hot(block) for block in hot_tape_blocks)
+
+    def test_replicas_distributed_round_robin(self):
+        spec = PlacementSpec(
+            layout=Layout.VERTICAL, percent_hot=10, replicas=9, start_position=1.0
+        )
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=9)
+        # Every hot block: primary on tape 0, replicas on all others.
+        for block_id in range(catalog.n_hot):
+            tapes = sorted(replica.tape_id for replica in catalog.replicas_of(block_id))
+            assert tapes == list(range(TAPES))
+
+    def test_partial_replication_counts(self):
+        spec = PlacementSpec(
+            layout=Layout.VERTICAL, percent_hot=10, replicas=3, start_position=1.0
+        )
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=3)
+
+    def test_replicas_at_tape_end_under_sp1(self):
+        spec = PlacementSpec(
+            layout=Layout.VERTICAL, percent_hot=10, replicas=9, start_position=1.0
+        )
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        contents = catalog.tape_contents(5)
+        # The trailing region of a replica tape holds only hot blocks.
+        tail = [block for _pos, block in contents[len(contents) // 2 :]]
+        assert all(catalog.is_hot(block) for block in tail)
+
+
+class TestPackedLayout:
+    def test_pack_cold_concentrates_data(self):
+        spec = PlacementSpec(
+            layout=Layout.VERTICAL, percent_hot=10, replicas=0, pack_cold=True
+        )
+        catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+        validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=0)
+        per_tape = [len(catalog.blocks_on_tape(tape_id)) for tape_id in range(TAPES)]
+        # Everything full here (no spare), but packing keeps order dense.
+        assert sum(per_tape) == catalog.total_copies()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    layout=st.sampled_from([Layout.HORIZONTAL, Layout.VERTICAL]),
+    percent_hot=st.sampled_from([5.0, 10.0, 20.0]),
+    replicas=st.integers(min_value=0, max_value=8),
+    start_position=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+)
+def test_every_layout_satisfies_invariants(layout, percent_hot, replicas, start_position):
+    """Any spec in the paper's parameter space builds a valid catalog."""
+    spec = PlacementSpec(
+        layout=layout,
+        percent_hot=percent_hot,
+        replicas=replicas,
+        start_position=start_position,
+        block_mb=16.0,
+    )
+    catalog = build_catalog(spec, TAPES, CAPACITY_MB)
+    validate_catalog(catalog, TAPES, CAPACITY_MB, expected_replicas=replicas)
+    # The jukebox is nearly full: slack below one block per tape per stream.
+    assert catalog.total_copies() >= SLOTS - 2 * TAPES

@@ -1,0 +1,140 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.service import MetricsCollector
+from repro.workload import Request
+
+
+def make_request(request_id=0, block_id=0, arrival_s=0.0):
+    return Request(request_id=request_id, block_id=block_id, arrival_s=arrival_s)
+
+
+class TestMetricsCollector:
+    def test_requires_finalize(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        with pytest.raises(RuntimeError):
+            metrics.report()
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(block_mb=16.0, warmup_s=-1.0)
+
+    def test_throughput_accounting(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=0.0)
+        requests = [
+            make_request(request_id=index, arrival_s=index * 10.0)
+            for index in range(10)
+        ]
+        for request in requests:  # arrivals first (time-ordered hooks)
+            metrics.on_arrival(request, request.arrival_s)
+        for request in requests:
+            metrics.on_completion(request, request.arrival_s + 100.0)
+        metrics.finalize(1000.0)
+        report = metrics.report()
+        assert report.completed == 10
+        expected_kb = 10 * 16 * 1024  # ten 16 MB blocks in KB
+        assert report.throughput_kb_s == pytest.approx(expected_kb / 1000.0)
+        assert report.requests_per_min == pytest.approx(10 / (1000 / 60))
+        assert report.mean_response_s == pytest.approx(100.0)
+
+    def test_warmup_drops_early_completions(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=100.0)
+        early = make_request(request_id=0, arrival_s=0.0)
+        late = make_request(request_id=1, arrival_s=150.0)
+        metrics.on_arrival(early, 0.0)
+        metrics.on_completion(early, 50.0)   # before warm-up: dropped
+        metrics.on_arrival(late, 150.0)
+        metrics.on_completion(late, 250.0)   # after: kept
+        metrics.finalize(1100.0)
+        report = metrics.report()
+        assert report.completed == 1
+        assert report.total_completed == 2
+        assert report.mean_response_s == pytest.approx(100.0)
+        # Measured window excludes the warm-up.
+        assert report.measured_s == pytest.approx(1000.0)
+
+    def test_tape_switches_counted_after_warmup(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=100.0)
+        metrics.on_tape_switch(50.0)
+        metrics.on_tape_switch(150.0)
+        metrics.on_tape_switch(151.0)
+        metrics.finalize(3700.0)
+        assert metrics.report().tape_switches == 2
+
+    def test_queue_length_time_weighted(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        first = make_request(request_id=0)
+        second = make_request(request_id=1)
+        metrics.on_arrival(first, 0.0)    # queue 1
+        metrics.on_arrival(second, 10.0)  # queue 2
+        metrics.on_completion(first, 20.0)  # queue 1
+        metrics.finalize(40.0)
+        report = metrics.report()
+        expected = (1 * 10 + 2 * 10 + 1 * 20) / 40
+        assert report.mean_queue_length == pytest.approx(expected)
+
+    def test_busy_fraction_clipped_to_warmup(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=100.0)
+        metrics.on_drive_busy(0.0, 50.0)     # fully inside warm-up: ignored
+        metrics.on_drive_busy(90.0, 20.0)    # 10 s overlap counted
+        metrics.on_drive_busy(200.0, 100.0)  # fully counted
+        metrics.finalize(1100.0)
+        report = metrics.report()
+        assert report.drive_busy_fraction == pytest.approx((10 + 100) / 1000.0)
+
+    def test_completion_stamps_request(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        request = make_request(arrival_s=5.0)
+        metrics.on_arrival(request, 5.0)
+        metrics.on_completion(request, 42.0)
+        assert request.completion_s == 42.0
+        assert request.response_s == 37.0
+
+    def test_p95_reported(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        requests = [make_request(request_id=index, arrival_s=0.0) for index in range(100)]
+        for request in requests:
+            metrics.on_arrival(request, 0.0)
+        for index, request in enumerate(requests):
+            metrics.on_completion(request, float(index + 1))
+        metrics.finalize(1000.0)
+        report = metrics.report()
+        assert report.p95_response_s == pytest.approx(95, abs=11)
+        assert report.max_response_s == 100.0
+
+
+class TestWaitingBreakdown:
+    def test_waiting_recorded_with_service_duration(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        request = make_request(arrival_s=0.0)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_completion(request, 100.0, service_s=30.0)
+        metrics.finalize(1000.0)
+        report = metrics.report()
+        assert report.mean_waiting_s == pytest.approx(70.0)
+
+    def test_waiting_clamped_non_negative(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        request = make_request(arrival_s=0.0)
+        metrics.on_arrival(request, 0.0)
+        # A coalesced request can complete faster than the full read.
+        metrics.on_completion(request, 10.0, service_s=30.0)
+        metrics.finalize(100.0)
+        assert metrics.report().mean_waiting_s == 0.0
+
+    def test_waiting_default_zero_without_durations(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        request = make_request(arrival_s=0.0)
+        metrics.on_arrival(request, 0.0)
+        metrics.on_completion(request, 50.0)
+        metrics.finalize(100.0)
+        assert metrics.report().mean_waiting_s == 0.0
+
+    def test_simulator_populates_waiting(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        report = run_experiment(
+            ExperimentConfig(queue_length=20, horizon_s=10_000.0)
+        ).report
+        assert 0.0 < report.mean_waiting_s < report.mean_response_s

@@ -1,0 +1,132 @@
+"""Tests for batch-means confidence intervals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.batchmeans import (
+    BatchMeans,
+    ConfidenceInterval,
+    batch_means_interval,
+    t_quantile_975,
+)
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(10) == pytest.approx(2.228)
+        assert t_quantile_975(30) == pytest.approx(2.042)
+
+    def test_large_df_approaches_normal(self):
+        assert t_quantile_975(1000) == pytest.approx(1.96)
+
+    def test_monotone_decreasing(self):
+        values = [t_quantile_975(df) for df in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_quantile_975(0)
+
+
+class TestBatchMeans:
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            BatchMeans(0)
+
+    def test_batches_freeze_at_size(self):
+        accumulator = BatchMeans(batch_size=3)
+        for value in (1, 2, 3, 4, 5, 6, 7):
+            accumulator.add(value)
+        assert accumulator.batch_means == [2.0, 5.0]  # partial [7] dropped
+        assert accumulator.complete_batches == 2
+
+    def test_interval_requires_two_batches(self):
+        accumulator = BatchMeans(batch_size=2)
+        accumulator.add(1.0)
+        accumulator.add(2.0)
+        assert accumulator.interval() is None
+        accumulator.add(3.0)
+        accumulator.add(4.0)
+        interval = accumulator.interval()
+        assert interval is not None
+        assert interval.batch_count == 2
+
+    def test_constant_signal_zero_width(self):
+        accumulator = BatchMeans(batch_size=5)
+        for _ in range(50):
+            accumulator.add(7.0)
+        interval = accumulator.interval()
+        assert interval.mean == pytest.approx(7.0)
+        assert interval.half_width == pytest.approx(0.0)
+        assert interval.contains(7.0)
+
+    def test_interval_covers_true_mean_for_iid_noise(self):
+        """With 20 batches of i.i.d. noise, the 95% CI should cover the
+        true mean in the vast majority of trials."""
+        rng = random.Random(123)
+        covered = 0
+        trials = 60
+        for _ in range(trials):
+            accumulator = BatchMeans(batch_size=50)
+            for _ in range(1000):
+                accumulator.add(rng.gauss(10.0, 2.0))
+            if accumulator.interval().contains(10.0):
+                covered += 1
+        assert covered >= trials * 0.85
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=40,
+            max_size=400,
+        )
+    )
+    def test_interval_properties(self, samples):
+        interval = batch_means_interval(samples, batch_count=10)
+        assert interval is not None
+        assert interval.half_width >= 0
+        assert interval.low <= interval.mean <= interval.high
+        assert min(samples) - 1e-6 <= interval.mean <= max(samples) + 1e-6
+
+
+class TestConvenience:
+    def test_too_few_samples(self):
+        assert batch_means_interval([1.0], batch_count=5) is None
+
+    def test_batch_count_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_interval([1.0, 2.0], batch_count=1)
+
+    def test_relative_half_width(self):
+        interval = ConfidenceInterval(mean=100.0, half_width=5.0, batch_count=10)
+        assert interval.relative_half_width == pytest.approx(0.05)
+        zero_mean = ConfidenceInterval(mean=0.0, half_width=5.0, batch_count=10)
+        assert zero_mean.relative_half_width == float("inf")
+
+    def test_simulation_response_times_have_tight_interval(self):
+        """End-to-end: a longer run should shrink the CI half-width."""
+        from repro.experiments import ExperimentConfig, build_simulator
+
+        def responses(horizon):
+            simulator = build_simulator(
+                ExperimentConfig(queue_length=40, horizon_s=horizon)
+            )
+            captured = []
+            original = simulator.metrics.on_completion
+
+            def spy(request, now, **kwargs):
+                original(request, now, **kwargs)
+                if request.completion_s is not None and now >= simulator.metrics.warmup_s:
+                    captured.append(request.response_s)
+
+            simulator.metrics.on_completion = spy
+            simulator.run(horizon)
+            return captured
+
+        short = batch_means_interval(responses(60_000.0), batch_count=10)
+        long = batch_means_interval(responses(240_000.0), batch_count=10)
+        assert long.relative_half_width < short.relative_half_width

@@ -1,0 +1,126 @@
+"""Unit and property tests for histograms and percentiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import Histogram, exact_percentile
+
+
+class TestExactPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 0.5)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert exact_percentile([42.0], 0.5) == 42.0
+
+    def test_median_of_sorted_run(self):
+        assert exact_percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_interpolation(self):
+        assert exact_percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert exact_percentile(values, 0.0) == 1.0
+        assert exact_percentile(values, 1.0) == 9.0
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0, max_value=1e6, allow_nan=False, allow_subnormal=False
+            ),
+            min_size=1,
+        )
+    )
+    def test_monotone_in_fraction(self, values):
+        p25 = exact_percentile(values, 0.25)
+        p50 = exact_percentile(values, 0.50)
+        p75 = exact_percentile(values, 0.75)
+        assert p25 <= p50 <= p75
+
+
+class TestHistogram:
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=0.0)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+    def test_mean_is_exact(self):
+        histogram = Histogram(bin_width=5.0)
+        for value in (1.0, 2.0, 3.0):
+            histogram.add(value)
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.count == 3
+
+    def test_percentile_within_bin_accuracy(self):
+        histogram = Histogram(bin_width=1.0)
+        for value in range(100):
+            histogram.add(value + 0.5)
+        # Percentiles accurate to within one bin width.
+        assert histogram.percentile(0.5) == pytest.approx(50, abs=1.5)
+        assert histogram.percentile(0.9) == pytest.approx(90, abs=1.5)
+
+    def test_bins_listing(self):
+        histogram = Histogram(bin_width=10.0)
+        histogram.add(5.0)
+        histogram.add(7.0)
+        histogram.add(25.0)
+        assert histogram.bins() == [(0.0, 2), (20.0, 1)]
+
+    def test_fraction_out_of_range(self):
+        histogram = Histogram()
+        histogram.add(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_percentile_close_to_exact(self, values):
+        """Histogram p50 lies within one bin of the +/- 1/n order-statistic
+        neighborhood of the exact interpolated median (the two estimators
+        use different small-sample interpolation rules)."""
+        histogram = Histogram(bin_width=1.0)
+        for value in values:
+            histogram.add(value)
+        approx = histogram.percentile(0.5)
+        slack = 1.0 / len(values)
+        low = exact_percentile(values, max(0.0, 0.5 - slack))
+        high = exact_percentile(values, min(1.0, 0.5 + slack))
+        assert low - 1.0 - 1e-9 <= approx <= high + 1.0 + 1e-9
+
+
+class TestWarmupFilter:
+    def test_drops_before_cutoff(self):
+        from repro.stats import WarmupFilter
+
+        warmup = WarmupFilter(cutoff_time=100.0)
+        assert not warmup.offer(50.0, 1.0)
+        assert warmup.offer(150.0, 2.0)
+        assert warmup.dropped == 1
+        assert warmup.accepted.count == 1
+        assert warmup.accepted.mean == 2.0
+
+    def test_negative_cutoff_rejected(self):
+        from repro.stats import WarmupFilter
+
+        with pytest.raises(ValueError):
+            WarmupFilter(cutoff_time=-1.0)
+
+    def test_boundary_is_inclusive(self):
+        from repro.stats import WarmupFilter
+
+        warmup = WarmupFilter(cutoff_time=10.0)
+        assert warmup.offer(10.0, 3.0)

@@ -1,0 +1,82 @@
+"""Unit and property tests for the online statistics accumulators."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.stdev == 0.0
+        assert stats.total == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.count == 1
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(statistics.variance([2, 4, 4, 4, 5, 5, 7, 9]))
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.total == 40.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_matches_statistics_module(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(statistics.fmean(values), rel=1e-9, abs=1e-6)
+        expected_var = statistics.variance(values)
+        assert stats.variance == pytest.approx(expected_var, rel=1e-6, abs=1e-4)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, left_values, right_values):
+        left = RunningStats()
+        left.extend(left_values)
+        right = RunningStats()
+        right.extend(right_values)
+        merged = left.merge(right)
+
+        combined = RunningStats()
+        combined.extend(left_values + right_values)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-4)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert stats.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(stats).mean == pytest.approx(1.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_variance_never_negative(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance >= 0.0
+        assert not math.isnan(stats.stdev)

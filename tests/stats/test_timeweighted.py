@@ -1,0 +1,86 @@
+"""Unit tests for time-weighted statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import TimeWeightedStats
+
+
+class TestTimeWeightedStats:
+    def test_no_time_elapsed(self):
+        stats = TimeWeightedStats()
+        assert stats.mean == 0.0
+        assert stats.elapsed == 0.0
+
+    def test_constant_signal(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 7.0)
+        stats.finalize(10.0)
+        assert stats.mean == pytest.approx(7.0)
+        assert stats.elapsed == 10.0
+
+    def test_step_signal(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 0.0)
+        stats.update(4.0, 10.0)  # value 0 held for 4s
+        stats.finalize(10.0)  # value 10 held for 6s
+        assert stats.mean == pytest.approx((0 * 4 + 10 * 6) / 10)
+
+    def test_queue_length_example(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 1)
+        stats.update(2.0, 2)
+        stats.update(5.0, 0)
+        stats.finalize(10.0)
+        assert stats.mean == pytest.approx((1 * 2 + 2 * 3 + 0 * 5) / 10)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 2.0
+
+    def test_time_going_backwards_rejected(self):
+        stats = TimeWeightedStats()
+        stats.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stats.update(4.0, 2.0)
+
+    def test_zero_span_updates_are_free(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 100.0)
+        stats.update(0.0, 1.0)  # instantaneous override
+        stats.finalize(10.0)
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_variance_of_constant_is_zero(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 3.0)
+        stats.finalize(8.0)
+        assert stats.variance == pytest.approx(0.0)
+
+    def test_variance_of_two_level_signal(self):
+        stats = TimeWeightedStats()
+        stats.update(0.0, 0.0)
+        stats.update(5.0, 2.0)
+        stats.finalize(10.0)
+        # Equal-time mix of 0 and 2: mean 1, E[x^2]=2, var 1.
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.variance == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=100, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_mean_bounded_by_min_max(self, spans):
+        stats = TimeWeightedStats()
+        now = 0.0
+        for span, value in spans:
+            stats.update(now, value)
+            now += span
+        stats.finalize(now)
+        values = [value for _span, value in spans]
+        assert min(values) - 1e-9 <= stats.mean <= max(values) + 1e-9
+        assert stats.variance >= 0.0

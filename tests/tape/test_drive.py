@@ -1,0 +1,140 @@
+"""Unit tests for the tape drive state machine."""
+
+import pytest
+
+from repro.tape import DriveStateError, EXB_8505XL, Tape, TapeDrive
+
+
+@pytest.fixture
+def tape():
+    return Tape(tape_id=0, capacity_mb=7 * 1024)
+
+
+@pytest.fixture
+def drive(tape):
+    drive = TapeDrive()
+    drive.load(tape)
+    return drive
+
+
+class TestMountLifecycle:
+    def test_fresh_drive_is_empty(self):
+        drive = TapeDrive()
+        assert not drive.is_loaded
+        assert drive.mounted_id is None
+
+    def test_load_positions_at_zero(self, drive):
+        assert drive.is_loaded
+        assert drive.mounted_id == 0
+        assert drive.head_mb == 0.0
+
+    def test_double_load_rejected(self, drive, tape):
+        with pytest.raises(DriveStateError):
+            drive.load(Tape(1))
+
+    def test_eject_requires_rewind(self, drive):
+        drive.locate(100.0)
+        with pytest.raises(DriveStateError):
+            drive.eject()
+
+    def test_rewind_then_eject(self, drive):
+        drive.locate(100.0)
+        drive.rewind()
+        assert drive.head_mb == 0.0
+        drive.eject()
+        assert not drive.is_loaded
+
+    def test_operations_require_tape(self):
+        drive = TapeDrive()
+        for operation in (lambda: drive.locate(0), lambda: drive.read(1),
+                          drive.rewind, drive.eject):
+            with pytest.raises(DriveStateError):
+                operation()
+
+    def test_load_duration(self, tape):
+        drive = TapeDrive()
+        assert drive.load(tape) == pytest.approx(EXB_8505XL.load_s)
+
+    def test_eject_duration(self, drive):
+        assert drive.eject() == pytest.approx(EXB_8505XL.eject_s)
+
+
+class TestHeadMotion:
+    def test_locate_moves_head(self, drive):
+        seconds = drive.locate(500.0)
+        assert drive.head_mb == 500.0
+        assert seconds == pytest.approx(EXB_8505XL.locate_forward(500.0))
+
+    def test_locate_out_of_bounds_rejected(self, drive):
+        with pytest.raises(ValueError):
+            drive.locate(-1.0)
+        with pytest.raises(ValueError):
+            drive.locate(8 * 1024.0)
+
+    def test_read_advances_head(self, drive):
+        drive.locate(100.0)
+        drive.read(16.0)
+        assert drive.head_mb == 116.0
+
+    def test_read_past_end_rejected(self, drive):
+        drive.locate(7 * 1024 - 8.0)
+        with pytest.raises(ValueError):
+            drive.read(16.0)
+
+    def test_access_is_locate_plus_read(self, tape):
+        combined = TapeDrive()
+        combined.load(tape)
+        split = TapeDrive()
+        split.load(Tape(0, tape.capacity_mb))
+        total = combined.access(250.0, 16.0)
+        expected = split.locate(250.0) + split.read(16.0)
+        assert total == pytest.approx(expected)
+
+
+class TestReadStartupSemantics:
+    """The paper's measured asymmetry: reads after forward locates pay a
+    startup; reads after reverse locates or streaming reads do not."""
+
+    def test_read_after_forward_locate_pays_startup(self, drive):
+        drive.locate(100.0)
+        assert drive.read(16.0) == pytest.approx(0.38 + 1.77 * 16)
+
+    def test_read_after_reverse_locate_skips_startup(self, drive):
+        drive.locate(500.0)
+        drive.locate(100.0)  # reverse
+        assert drive.read(16.0) == pytest.approx(1.77 * 16)
+
+    def test_streaming_read_skips_startup(self, drive):
+        drive.locate(100.0)
+        drive.read(16.0)
+        # Next block is adjacent: zero-distance locate, pure streaming.
+        assert drive.locate(116.0) == 0.0
+        assert drive.read(16.0) == pytest.approx(1.77 * 16)
+
+    def test_first_read_after_load_pays_startup(self, drive):
+        assert drive.read(16.0) == pytest.approx(0.38 + 1.77 * 16)
+
+    def test_read_after_rewind_skips_startup(self, drive):
+        drive.locate(300.0)
+        drive.rewind()
+        assert drive.read(16.0) == pytest.approx(1.77 * 16)
+
+
+class TestCounters:
+    def test_counters_accumulate(self, drive):
+        drive.locate(100.0)
+        drive.read(16.0)
+        drive.rewind()
+        counters = drive.counters
+        assert counters.locates == 1
+        assert counters.reads == 1
+        assert counters.rewinds == 1
+        assert counters.loads == 1
+        assert counters.busy_s == pytest.approx(
+            counters.locate_s + counters.read_s + counters.rewind_s
+            + counters.eject_load_s
+        )
+
+    def test_zero_distance_locate_not_counted(self, drive):
+        drive.locate(0.0)
+        assert drive.counters.locates == 0

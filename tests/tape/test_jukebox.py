@@ -1,0 +1,132 @@
+"""Unit tests for tapes, the robot arm, and the jukebox composition."""
+
+import pytest
+
+from repro.tape import (
+    DEFAULT_TAPE_CAPACITY_MB,
+    EXB_8505XL,
+    Jukebox,
+    RobotArm,
+    RobotError,
+    Tape,
+    TapePool,
+)
+
+
+class TestTape:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Tape(tape_id=-1)
+        with pytest.raises(ValueError):
+            Tape(tape_id=0, capacity_mb=0)
+
+    def test_contains(self):
+        tape = Tape(0, capacity_mb=100)
+        assert tape.contains(0, 16)
+        assert tape.contains(84, 16)
+        assert not tape.contains(85, 16)
+        assert not tape.contains(-1, 0)
+
+    def test_validate_extent_raises(self):
+        tape = Tape(0, capacity_mb=100)
+        with pytest.raises(ValueError):
+            tape.validate_extent(90, 16)
+
+    def test_slots(self):
+        tape = Tape(0, capacity_mb=7 * 1024)
+        assert tape.slots(16) == 448
+        assert tape.slots(1) == 7168
+        with pytest.raises(ValueError):
+            tape.slots(0)
+
+
+class TestTapePool:
+    def test_uniform_pool(self):
+        pool = TapePool.uniform(10)
+        assert len(pool) == 10
+        assert pool[3].tape_id == 3
+        assert pool[3].capacity_mb == DEFAULT_TAPE_CAPACITY_MB
+        assert list(pool.tape_ids) == list(range(10))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TapePool.uniform(0)
+
+    def test_jukebox_order_wraps(self):
+        pool = TapePool.uniform(4)
+        assert pool.jukebox_order(start_after=1) == [2, 3, 0, 1]
+        assert pool.jukebox_order(start_after=3) == [0, 1, 2, 3]
+
+
+class TestRobotArm:
+    def test_swap_moves_tapes(self):
+        robot = RobotArm(timing=EXB_8505XL, slot_count=3)
+        seconds = robot.swap(1)
+        assert seconds == pytest.approx(20.0)
+        assert robot.in_drive == 1
+        assert robot.in_slots == {0, 2}
+
+    def test_swap_returns_old_tape_to_slots(self):
+        robot = RobotArm(timing=EXB_8505XL, slot_count=3)
+        robot.swap(1)
+        robot.swap(2)
+        assert robot.in_drive == 2
+        assert robot.in_slots == {0, 1}
+        assert robot.swaps == 2
+
+    def test_swap_missing_tape_rejected(self):
+        robot = RobotArm(timing=EXB_8505XL, slot_count=2)
+        robot.swap(0)
+        with pytest.raises(RobotError):
+            robot.swap(0)  # already in the drive, not in a slot
+
+
+class TestJukebox:
+    def test_build_defaults(self):
+        jukebox = Jukebox.build()
+        assert jukebox.tape_count == 10
+        assert jukebox.mounted_id is None
+
+    def test_initial_mount_skips_rewind_and_eject(self):
+        jukebox = Jukebox.build()
+        seconds = jukebox.switch_to(4)
+        assert seconds == pytest.approx(20.0 + 42.0)  # robot + load only
+        assert jukebox.mounted_id == 4
+        assert jukebox.switches == 1
+
+    def test_switch_to_mounted_tape_is_free(self):
+        jukebox = Jukebox.build()
+        jukebox.switch_to(2)
+        assert jukebox.switch_to(2) == 0.0
+        assert jukebox.switches == 1
+
+    def test_full_switch_includes_rewind(self):
+        jukebox = Jukebox.build()
+        jukebox.switch_to(0)
+        jukebox.access(500.0, 16.0)
+        head = jukebox.head_mb
+        seconds = jukebox.switch_to(1)
+        expected = EXB_8505XL.rewind(head) + 19.0 + 20.0 + 42.0
+        assert seconds == pytest.approx(expected)
+        assert jukebox.mounted_id == 1
+        assert jukebox.head_mb == 0.0
+
+    def test_switch_to_unknown_tape_rejected(self):
+        jukebox = Jukebox.build(tape_count=5)
+        with pytest.raises(ValueError):
+            jukebox.switch_to(5)
+
+    def test_access_on_mounted_tape(self):
+        jukebox = Jukebox.build()
+        jukebox.switch_to(0)
+        seconds = jukebox.access(100.0, 16.0)
+        assert seconds == pytest.approx(
+            EXB_8505XL.locate_forward(100.0) + 0.38 + 1.77 * 16
+        )
+        assert jukebox.head_mb == 116.0
+
+    def test_paper_switch_overhead_81s(self):
+        """Rewound-tape switch = 19 + 20 + 42 = 81 s, the paper's figure."""
+        jukebox = Jukebox.build()
+        jukebox.switch_to(0)  # head at 0, no rewind needed
+        assert jukebox.switch_to(1) == pytest.approx(81.0)

@@ -1,0 +1,71 @@
+"""Property tests: serpentine drive execution vs. its timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tape import DLT_STYLE, Tape, TapeDrive
+
+positions = st.floats(min_value=0.0, max_value=DLT_STYLE.capacity_mb - 16.0,
+                      allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(start=positions, target=positions)
+def test_drive_locate_matches_model(start, target):
+    """TapeDrive.locate on serpentine timing charges exactly
+    timing.locate(from, to)."""
+    drive = TapeDrive(timing=DLT_STYLE)
+    drive.load(Tape(0, capacity_mb=DLT_STYLE.capacity_mb))
+    drive.locate(start)
+    seconds = drive.locate(target)
+    assert seconds == pytest.approx(DLT_STYLE.locate(start, target))
+    assert drive.head_mb == target
+
+
+@settings(max_examples=60, deadline=None)
+@given(start=positions, target=positions)
+def test_locate_symmetry(start, target):
+    """Serpentine locates cost the same in either direction."""
+    assert DLT_STYLE.locate(start, target) == pytest.approx(
+        DLT_STYLE.locate(target, start)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(position=positions)
+def test_longitudinal_within_wrap_bounds(position):
+    x = DLT_STYLE.longitudinal(position)
+    assert 0.0 <= x <= DLT_STYLE.wrap_mb + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(start=positions, target=positions)
+def test_locate_cost_bounded(start, target):
+    """No serpentine locate exceeds one longitudinal pass plus a step."""
+    upper = (
+        DLT_STYLE.locate_startup_s
+        + DLT_STYLE.longitudinal_s_per_mb * DLT_STYLE.wrap_mb
+        + DLT_STYLE.wrap_step_s
+    )
+    assert DLT_STYLE.locate(start, target) <= upper + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    slots=st.lists(st.integers(min_value=0, max_value=440), min_size=1,
+                   max_size=15, unique=True),
+)
+def test_serpentine_sweep_cheaper_than_helical(slots):
+    """Executing the same sweep on both technologies: serpentine never
+    loses (its positioning is bounded by one wrap length)."""
+    from repro.tape import EXB_8505XL
+
+    def execute(timing):
+        drive = TapeDrive(timing=timing)
+        drive.load(Tape(0, capacity_mb=7 * 1024.0))
+        total = 0.0
+        for slot in sorted(slots):
+            total += drive.access(slot * 16.0, 16.0)
+        return total
+
+    assert execute(DLT_STYLE) <= execute(EXB_8505XL) + 1e-6

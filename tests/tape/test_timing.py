@@ -1,0 +1,141 @@
+"""Tests pinning the paper's Section 2.1 timing model constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tape import Direction, DriveTimingModel, EXB_8505XL
+
+distances = st.floats(min_value=0.0, max_value=7168.0, allow_nan=False)
+
+
+class TestPaperConstants:
+    """The fitted Exabyte EXB-8505XL functions, verbatim from the paper."""
+
+    def test_forward_short_segment(self):
+        # 4.834 + 0.378k for k <= 28
+        assert EXB_8505XL.locate_forward(1) == pytest.approx(4.834 + 0.378)
+        assert EXB_8505XL.locate_forward(28) == pytest.approx(4.834 + 0.378 * 28)
+
+    def test_forward_long_segment(self):
+        # 14.342 + 0.028k for k > 28
+        assert EXB_8505XL.locate_forward(29) == pytest.approx(14.342 + 0.028 * 29)
+        assert EXB_8505XL.locate_forward(1000) == pytest.approx(14.342 + 0.028 * 1000)
+
+    def test_reverse_short_segment(self):
+        # 4.99 + 0.328k for k <= 28
+        assert EXB_8505XL.locate_reverse(1) == pytest.approx(4.99 + 0.328)
+        assert EXB_8505XL.locate_reverse(28) == pytest.approx(4.99 + 0.328 * 28)
+
+    def test_reverse_long_segment(self):
+        # 13.74 + 0.0286k for k > 28
+        assert EXB_8505XL.locate_reverse(100) == pytest.approx(13.74 + 0.0286 * 100)
+
+    def test_bot_overhead(self):
+        # Locating to the physical beginning of tape adds 21 seconds.
+        plain = EXB_8505XL.locate_reverse(500)
+        to_bot = EXB_8505XL.locate_reverse(500, lands_on_bot=True)
+        assert to_bot - plain == pytest.approx(21.0)
+
+    def test_read_after_forward_locate(self):
+        # 0.38 + 1.77k
+        assert EXB_8505XL.read(16, startup=True) == pytest.approx(0.38 + 1.77 * 16)
+
+    def test_read_after_reverse_locate(self):
+        # 1.77k
+        assert EXB_8505XL.read(16, startup=False) == pytest.approx(1.77 * 16)
+
+    def test_switch_is_81_seconds(self):
+        # 19 eject + 20 robot + 42 load.
+        assert EXB_8505XL.switch() == pytest.approx(81.0)
+
+    def test_switch_with_rewind_includes_rewind(self):
+        expected = EXB_8505XL.rewind(1000.0) + 81.0
+        assert EXB_8505XL.switch_with_rewind(1000.0) == pytest.approx(expected)
+
+    def test_theorem2_constants(self):
+        assert EXB_8505XL.short_forward_startup_s == pytest.approx(4.834)
+        assert EXB_8505XL.long_short_startup_gap_s == pytest.approx(14.342 - 4.834)
+        assert EXB_8505XL.block_transfer_s(16) == pytest.approx(1.77 * 16)
+
+
+class TestModelSemantics:
+    def test_zero_distance_locates_are_free(self):
+        assert EXB_8505XL.locate_forward(0) == 0.0
+        assert EXB_8505XL.locate_reverse(0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            EXB_8505XL.locate_forward(-1)
+        with pytest.raises(ValueError):
+            EXB_8505XL.locate_reverse(-1)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            EXB_8505XL.read(-1)
+
+    def test_locate_dispatches_on_direction(self):
+        assert EXB_8505XL.locate(100, 150) == EXB_8505XL.locate_forward(50)
+        assert EXB_8505XL.locate(150, 100) == EXB_8505XL.locate_reverse(50)
+        assert EXB_8505XL.locate(100, 0) == EXB_8505XL.locate_reverse(
+            100, lands_on_bot=True
+        )
+
+    def test_rewind_from_zero_is_free(self):
+        assert EXB_8505XL.rewind(0.0) == 0.0
+
+    def test_rewind_includes_bot_overhead(self):
+        assert EXB_8505XL.rewind(500.0) == pytest.approx(
+            EXB_8505XL.locate_reverse(500.0) + 21.0
+        )
+
+    def test_rewind_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EXB_8505XL.rewind(-1.0)
+
+    # The paper's short and long segments were fitted independently, so
+    # the model is slightly non-monotone across the k=28 seam (short fit
+    # at 28 gives 15.418 s, long fit at 29 gives 15.154 s).  We keep the
+    # published constants verbatim; monotonicity holds within segments
+    # and to within the ~0.3 s seam discontinuity across it.
+    SEAM_SLACK_S = 0.3
+
+    @given(distances)
+    def test_forward_locate_monotone_within_seam_slack(self, distance):
+        longer = EXB_8505XL.locate_forward(distance + 1.0)
+        assert longer >= EXB_8505XL.locate_forward(distance) - self.SEAM_SLACK_S
+
+    @given(distances)
+    def test_reverse_locate_monotone_within_seam_slack(self, distance):
+        longer = EXB_8505XL.locate_reverse(distance + 1.0)
+        assert longer >= EXB_8505XL.locate_reverse(distance) - self.SEAM_SLACK_S
+
+    def test_segments_nearly_continuous_at_threshold(self):
+        """The paper's fits meet closely (not exactly) at k=28."""
+        short = EXB_8505XL.forward_short.cost(28)
+        long_ = EXB_8505XL.forward_long.cost(28)
+        assert abs(short - long_) < 1.0  # fits measured independently
+
+
+class TestScaled:
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            EXB_8505XL.scaled(0)
+
+    def test_scaled_halves_every_cost(self):
+        fast = EXB_8505XL.scaled(2.0)
+        assert fast.locate_forward(100) == pytest.approx(
+            EXB_8505XL.locate_forward(100) / 2
+        )
+        assert fast.locate_reverse(100) == pytest.approx(
+            EXB_8505XL.locate_reverse(100) / 2
+        )
+        assert fast.read(16) == pytest.approx(EXB_8505XL.read(16) / 2)
+        assert fast.switch() == pytest.approx(EXB_8505XL.switch() / 2)
+        assert fast.rewind(200) == pytest.approx(EXB_8505XL.rewind(200) / 2)
+
+    def test_identity_scaling(self):
+        same = EXB_8505XL.scaled(1.0)
+        assert same.locate_forward(50) == pytest.approx(EXB_8505XL.locate_forward(50))
+
+    def test_default_model_is_paper_model(self):
+        assert DriveTimingModel() == EXB_8505XL

@@ -1,0 +1,48 @@
+"""Tests for named random streams."""
+
+from repro.rng import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "skew") == derive_seed(42, "skew")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "skew") != derive_seed(42, "arrivals")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "skew") != derive_seed(2, "skew")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123456789, "anything")
+        assert 0 <= seed < 2**64
+
+
+class TestRandomStreams:
+    def test_same_name_same_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_independent_of_consumption(self):
+        """Stream 'b' yields the same values no matter how much 'a' consumed."""
+        lonely = RandomStreams(7)
+        expected = [lonely.stream("b").random() for _ in range(5)]
+
+        busy = RandomStreams(7)
+        for _ in range(1000):
+            busy.stream("a").random()
+        actual = [busy.stream("b").random() for _ in range(5)]
+        assert actual == expected
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_fork_is_stable_and_distinct(self):
+        parent = RandomStreams(7)
+        child_one = parent.fork("jukebox-1")
+        child_two = parent.fork("jukebox-2")
+        again = RandomStreams(7).fork("jukebox-1")
+        assert child_one.root_seed == again.root_seed
+        assert child_one.root_seed != child_two.root_seed
+        assert child_one.root_seed != parent.root_seed

@@ -1,0 +1,134 @@
+"""Unit tests for request records, skew, and arrival sources."""
+
+import random
+
+import pytest
+
+from repro.layout import PlacementSpec, build_catalog
+from repro.workload import (
+    ClosedSource,
+    HotColdSkew,
+    OpenSource,
+    Request,
+    RequestFactory,
+    UniformSkew,
+)
+
+
+@pytest.fixture
+def catalog():
+    return build_catalog(PlacementSpec(percent_hot=10), tape_count=10, capacity_mb=7 * 1024)
+
+
+class TestRequest:
+    def test_response_requires_completion(self):
+        request = Request(request_id=0, block_id=5, arrival_s=10.0)
+        assert not request.is_complete
+        with pytest.raises(RuntimeError):
+            _ = request.response_s
+
+    def test_response_time(self):
+        request = Request(request_id=0, block_id=5, arrival_s=10.0, completion_s=35.0)
+        assert request.is_complete
+        assert request.response_s == 25.0
+
+    def test_factory_allocates_sequential_ids(self):
+        factory = RequestFactory()
+        first = factory.create(block_id=1, arrival_s=0.0)
+        second = factory.create(block_id=2, arrival_s=1.0)
+        assert (first.request_id, second.request_id) == (0, 1)
+
+
+class TestSkew:
+    def test_rh_bounds(self):
+        with pytest.raises(ValueError):
+            HotColdSkew(percent_requests_hot=-1)
+        with pytest.raises(ValueError):
+            HotColdSkew(percent_requests_hot=101)
+
+    def test_skew_hits_hot_fraction(self, catalog):
+        skew = HotColdSkew(percent_requests_hot=40.0)
+        rng = random.Random(7)
+        draws = [skew.draw_block(rng, catalog) for _ in range(20000)]
+        hot_fraction = sum(catalog.is_hot(block) for block in draws) / len(draws)
+        assert hot_fraction == pytest.approx(0.40, abs=0.02)
+
+    def test_extreme_skews(self, catalog):
+        rng = random.Random(7)
+        all_cold = HotColdSkew(percent_requests_hot=0.0)
+        assert not any(
+            catalog.is_hot(all_cold.draw_block(rng, catalog)) for _ in range(500)
+        )
+        all_hot = HotColdSkew(percent_requests_hot=100.0)
+        assert all(catalog.is_hot(all_hot.draw_block(rng, catalog)) for _ in range(500))
+
+    def test_hot_draws_uniform_over_hot_blocks(self, catalog):
+        skew = HotColdSkew(percent_requests_hot=100.0)
+        rng = random.Random(11)
+        draws = [skew.draw_block(rng, catalog) for _ in range(20000)]
+        assert min(draws) >= 0
+        assert max(draws) < catalog.n_hot
+        # Coarse uniformity: first and second halves roughly equal.
+        half = catalog.n_hot // 2
+        low = sum(block < half for block in draws)
+        assert low / len(draws) == pytest.approx(0.5, abs=0.03)
+
+    def test_uniform_skew_covers_everything(self, catalog):
+        skew = UniformSkew()
+        rng = random.Random(3)
+        draws = [skew.draw_block(rng, catalog) for _ in range(5000)]
+        hot_fraction = sum(catalog.is_hot(block) for block in draws) / len(draws)
+        assert hot_fraction == pytest.approx(catalog.n_hot / catalog.n_blocks, abs=0.02)
+
+
+class TestClosedSource:
+    def test_queue_length_positive(self, catalog):
+        with pytest.raises(ValueError):
+            ClosedSource(0, HotColdSkew(), catalog, random.Random(1))
+
+    def test_initial_population(self, catalog):
+        source = ClosedSource(25, HotColdSkew(), catalog, random.Random(1))
+        initial = source.initial_requests(now=0.0)
+        assert len(initial) == 25
+        assert all(request.arrival_s == 0.0 for request in initial)
+        assert len({request.request_id for request in initial}) == 25
+
+    def test_completion_generates_replacement(self, catalog):
+        source = ClosedSource(5, HotColdSkew(), catalog, random.Random(1))
+        source.initial_requests()
+        replacement = source.on_completion(now=120.0)
+        assert replacement.arrival_s == 120.0
+        assert replacement.request_id == 5
+        assert source.is_closed
+
+
+class TestOpenSource:
+    def test_interarrival_positive(self, catalog):
+        with pytest.raises(ValueError):
+            OpenSource(0.0, HotColdSkew(), catalog, random.Random(1))
+
+    def test_starts_empty_and_ignores_completions(self, catalog):
+        source = OpenSource(60.0, HotColdSkew(), catalog, random.Random(1))
+        assert source.initial_requests() == []
+        assert source.on_completion(now=10.0) is None
+        assert not source.is_closed
+
+    def test_arrivals_bounded_by_horizon(self, catalog):
+        source = OpenSource(50.0, HotColdSkew(), catalog, random.Random(1))
+        arrivals = list(source.arrivals(horizon_s=5000.0))
+        assert arrivals, "expected some arrivals in the horizon"
+        times = [time for time, _request in arrivals]
+        assert all(0 < time <= 5000.0 for time in times)
+        assert times == sorted(times)
+
+    def test_mean_interarrival_statistic(self, catalog):
+        source = OpenSource(30.0, HotColdSkew(), catalog, random.Random(5))
+        arrivals = list(source.arrivals(horizon_s=300_000.0))
+        times = [time for time, _request in arrivals]
+        gaps = [second - first for first, second in zip(times, times[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(30.0, rel=0.05)
+
+    def test_arrival_times_match_request_stamps(self, catalog):
+        source = OpenSource(100.0, HotColdSkew(), catalog, random.Random(2))
+        for time, request in source.arrivals(horizon_s=10_000.0):
+            assert request.arrival_s == time
