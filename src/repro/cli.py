@@ -115,6 +115,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated fill fractions",
     )
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run an experiment under fault injection"
+    )
+    _add_run_arguments(chaos_parser)
+    chaos_parser.add_argument(
+        "--media-error-rate", type=float, default=0.01,
+        help="per-read transient soft-error probability",
+    )
+    chaos_parser.add_argument(
+        "--bad-replica-rate", type=float, default=0.0,
+        help="probability a stored copy sits in a permanently bad region",
+    )
+    chaos_parser.add_argument(
+        "--robot-pick-error-rate", type=float, default=0.0,
+        help="per-pick robot failure probability",
+    )
+    chaos_parser.add_argument(
+        "--drive-mtbf", type=float, default=None,
+        help="mean time between drive failures (s); unset = no failures",
+    )
+    chaos_parser.add_argument(
+        "--drive-mttr", type=float, default=3600.0,
+        help="mean drive repair time (s)",
+    )
+    chaos_parser.add_argument(
+        "--fault-seed", type=int, default=7, help="seed for the fault streams"
+    )
+    chaos_parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="read attempts before a transient fault escalates",
+    )
+    chaos_parser.add_argument(
+        "--base-backoff", type=float, default=2.0,
+        help="first retry backoff (s); doubles per retry",
+    )
+    chaos_parser.add_argument(
+        "--compare-replicas", default=None, metavar="NR,NR,...",
+        help="rerun at each replication degree and tabulate availability",
+    )
+
     subparsers.add_parser("list", help="list available schedulers")
 
     args = parser.parse_args(argv)
@@ -180,6 +220,70 @@ def main(argv: Optional[List[str]] = None) -> int:
         base = _config_from_args(args, queue=queue_lengths[0])
         points = queue_sweep(base, queue_lengths)
         print(format_parametric_series(args.scheduler, points))
+        return 0
+
+    if args.command == "chaos":
+        from .faults.config import FaultConfig
+        from .faults.retry import RetryPolicy
+        from .report.text import format_table
+
+        fault_config = FaultConfig(
+            media_error_rate=args.media_error_rate,
+            bad_replica_rate=args.bad_replica_rate,
+            robot_pick_error_rate=args.robot_pick_error_rate,
+            drive_mtbf_s=args.drive_mtbf,
+            drive_mttr_s=args.drive_mttr,
+            seed=args.fault_seed,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts, base_backoff_s=args.base_backoff
+            ),
+        )
+        base = _config_from_args(args).with_(faults=fault_config)
+        if args.compare_replicas:
+            degrees = [
+                int(piece) for piece in args.compare_replicas.split(",") if piece
+            ]
+            rows = []
+            for replicas in degrees:
+                report = run_experiment(base.with_(replicas=replicas)).report
+                rows.append(
+                    (
+                        f"NR-{replicas}",
+                        report.completed,
+                        report.failed_requests,
+                        f"{report.served_fraction:.4f}",
+                        report.failovers,
+                        report.retries,
+                        f"{report.mean_response_s:.1f}",
+                    )
+                )
+            print(
+                format_table(
+                    (
+                        "replicas", "completed", "failed", "served_frac",
+                        "failovers", "retries", "mean_resp_s",
+                    ),
+                    rows,
+                )
+            )
+            return 0
+        result = run_experiment(base)
+        print(result.config.describe())
+        print(result.report)
+        report = result.report
+        fault_rows = [
+            (kind, count) for kind, count in sorted(report.fault_counts.items())
+        ]
+        fault_rows.append(("retries", report.retries))
+        fault_rows.append(("failovers", report.failovers))
+        fault_rows.append(("failed requests", report.failed_requests))
+        print(format_table(("fault", "count"), fault_rows))
+        print(f"served fraction: {report.served_fraction:.4f}")
+        if report.drive_failures:
+            print(
+                f"drive failures: {report.drive_failures} "
+                f"(mean repair {report.mean_repair_s:.0f} s)"
+            )
         return 0
 
     config = _config_from_args(args)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..layout.catalog import BlockCatalog
 from ..tape.jukebox import Jukebox
@@ -28,6 +28,14 @@ class SchedulerContext:
     catalog: BlockCatalog
     pending: PendingList
     service: Optional[ServiceList] = None
+    #: Tapes taken out of service by the fault layer.  The fault-aware
+    #: simulator shares the injector's live set here, so schedulers (and
+    #: the masked pending-list view) always see the current mask.
+    masked_tapes: Set[int] = field(default_factory=set)
+
+    def tape_available(self, tape_id: int) -> bool:
+        """True when ``tape_id`` is in service (not masked out)."""
+        return tape_id not in self.masked_tapes
 
     @property
     def mounted_id(self) -> Optional[int]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..faults.config import FaultConfig
 from ..layout.placement import Layout
 
 #: The paper simulates 10 million seconds; the default here is shorter
@@ -54,6 +55,10 @@ class ExperimentConfig:
     #: Cap on logical data volume (blocks); ``None`` fills the jukebox.
     #: Partial fills model the Section 4.8 lifecycle stages.
     data_blocks: Optional[int] = None
+    #: Fault-injection knobs; ``None`` (or all-zero rates) runs the
+    #: fault-free simulator — results stay bit-identical to builds
+    #: without the fault subsystem (see repro.faults).
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.drive_technology not in ("helical", "serpentine"):
@@ -81,6 +86,35 @@ class ExperimentConfig:
         if self.drive_speedup <= 0:
             raise ValueError(
                 f"drive_speedup must be positive, got {self.drive_speedup!r}"
+            )
+        if self.tape_count < 1:
+            raise ValueError(f"tape_count must be >= 1, got {self.tape_count!r}")
+        if self.capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {self.capacity_mb!r}")
+        if self.block_mb <= 0:
+            raise ValueError(f"block_mb must be positive, got {self.block_mb!r}")
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas!r}")
+        if self.replicas >= self.tape_count:
+            # NR counts *extra* copies, each on a distinct tape, so a
+            # block needs replicas + 1 distinct tapes to live on.
+            raise ValueError(
+                f"replicas must be < tape_count ({self.tape_count}): a block "
+                f"needs {self.replicas + 1} distinct tapes, got replicas="
+                f"{self.replicas!r}"
+            )
+        for name in ("percent_hot", "percent_requests_hot"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 100.0:
+                raise ValueError(f"{name} must be in [0, 100], got {value!r}")
+        if self.queue_length is not None and self.queue_length < 1:
+            raise ValueError(
+                f"queue_length must be >= 1, got {self.queue_length!r}"
+            )
+        if self.mean_interarrival_s is not None and self.mean_interarrival_s <= 0:
+            raise ValueError(
+                f"mean_interarrival_s must be positive, "
+                f"got {self.mean_interarrival_s!r}"
             )
 
     @property

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from ..core.registry import make_scheduler
 from ..des import Environment
+from ..faults.injector import FaultInjector
 from ..layout.placement import PlacementSpec, build_catalog
 from ..layout.validate import validate_catalog
 from ..service.metrics import MetricsCollector, MetricsReport
@@ -80,6 +81,14 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
     metrics = MetricsCollector(block_mb=config.block_mb, warmup_s=config.warmup_s)
     env = Environment()
 
+    # Pay-for-what-you-use: the injector exists only when some fault
+    # rate is nonzero, so fault-free runs take the exact pre-fault path.
+    faults = None
+    if config.faults is not None and config.faults.enabled:
+        faults = FaultInjector(
+            config.faults, catalog, drive_count=config.drive_count
+        )
+
     if config.drive_count > 1:
         from ..service.multidrive import MultiDriveSimulator
 
@@ -93,6 +102,7 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
             tape_count=config.tape_count,
             capacity_mb=config.capacity_mb,
             timing=timing,
+            faults=faults,
         )
 
     jukebox = Jukebox.build(
@@ -106,6 +116,7 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
         scheduler=scheduler,
         source=source,
         metrics=metrics,
+        faults=faults,
     )
 
 

@@ -13,6 +13,8 @@ import json
 from pathlib import Path
 from typing import List, Union
 
+from ..faults.config import FaultConfig
+from ..faults.retry import RetryPolicy
 from ..layout.placement import Layout
 from ..service.metrics import MetricsReport
 from .config import ExperimentConfig
@@ -40,6 +42,16 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         raise ValueError(f"unsupported result format version {version!r}")
     config_fields = dict(payload["config"])
     config_fields["layout"] = Layout(config_fields["layout"])
+    if config_fields.get("faults") is not None:
+        # dataclasses.asdict flattens the nested frozen dataclasses to
+        # plain dicts (and JSON turns tuples into lists); rebuild them.
+        fault_fields = dict(config_fields["faults"])
+        fault_fields["retry"] = RetryPolicy(**fault_fields["retry"])
+        fault_fields["tape_media_error_rates"] = tuple(
+            (tape_id, rate)
+            for tape_id, rate in fault_fields["tape_media_error_rates"]
+        )
+        config_fields["faults"] = FaultConfig(**fault_fields)
     config = ExperimentConfig(**config_fields)
     report = MetricsReport(**payload["report"])
     return ExperimentResult(config=config, report=report)

@@ -1,0 +1,82 @@
+"""Fault-model configuration.
+
+All rates default to zero and ``FaultConfig()`` is therefore inert:
+:attr:`FaultConfig.enabled` is False and the experiment runner skips the
+injection layer entirely, so fault-free runs stay bit-identical to a
+build without this subsystem (pay-for-what-you-use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and seeds of every injectable fault class.
+
+    Attributes:
+        media_error_rate: per-read probability of a transient soft error.
+        tape_media_error_rates: ``(tape_id, rate)`` overrides for tapes
+            with worse media than the default rate.
+        bad_replica_rate: per-physical-copy probability that the copy
+            sits in a permanently unreadable region (sampled once, at
+            injector construction, from the fault seed).
+        robot_pick_error_rate: per-swap probability the arm mispicks.
+        drive_mtbf_s: mean time between drive failures (exponential);
+            ``None`` disables drive failures.
+        drive_mttr_s: mean time to repair a failed drive (exponential).
+        seed: root seed of the fault random streams (independent of the
+            workload seed, so fault patterns are reproducible per se).
+        retry: bounded-retry/backoff policy for transient faults.
+    """
+
+    media_error_rate: float = 0.0
+    tape_media_error_rates: Tuple[Tuple[int, float], ...] = ()
+    bad_replica_rate: float = 0.0
+    robot_pick_error_rate: float = 0.0
+    drive_mtbf_s: Optional[float] = None
+    drive_mttr_s: float = 3600.0
+    seed: int = 7
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in ("media_error_rate", "bad_replica_rate", "robot_pick_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        for tape_id, rate in self.tape_media_error_rates:
+            if tape_id < 0:
+                raise ValueError(f"tape_media_error_rates tape_id {tape_id!r} < 0")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"tape_media_error_rates rate for tape {tape_id} must be "
+                    f"in [0, 1], got {rate!r}"
+                )
+        if self.drive_mtbf_s is not None and self.drive_mtbf_s <= 0:
+            raise ValueError(
+                f"drive_mtbf_s must be positive, got {self.drive_mtbf_s!r}"
+            )
+        if self.drive_mttr_s <= 0:
+            raise ValueError(f"drive_mttr_s must be positive, got {self.drive_mttr_s!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault class can actually fire."""
+        return bool(
+            self.media_error_rate > 0.0
+            or any(rate > 0.0 for _tape, rate in self.tape_media_error_rates)
+            or self.bad_replica_rate > 0.0
+            or self.robot_pick_error_rate > 0.0
+            or self.drive_mtbf_s is not None
+        )
+
+    def media_rate_for(self, tape_id: int) -> float:
+        """Effective soft-error rate for reads on ``tape_id``."""
+        for override_tape, rate in self.tape_media_error_rates:
+            if override_tape == tape_id:
+                return rate
+        return self.media_error_rate

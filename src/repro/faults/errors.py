@@ -1,0 +1,58 @@
+"""Typed fault exceptions raised by the injection layer.
+
+Every fault carries a stable ``kind`` string (used as the metrics
+counter key) and a ``transient`` flag: transient faults are worth
+retrying on the same physical copy, permanent ones are not and must be
+survived — if at all — by failing over to another replica.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FaultError(RuntimeError):
+    """Base class of all injected faults."""
+
+    #: Stable counter key, e.g. ``"media-error"``.
+    kind: str = "fault"
+    #: True when retrying the same physical operation can succeed.
+    transient: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        tape_id: Optional[int] = None,
+        block_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.tape_id = tape_id
+        self.block_id = block_id
+
+
+class MediaError(FaultError):
+    """Transient soft read error (dirty head, marginal media patch)."""
+
+    kind = "media-error"
+    transient = True
+
+
+class BadBlockError(FaultError):
+    """Permanent media defect: this physical copy is unreadable forever."""
+
+    kind = "bad-block"
+    transient = False
+
+
+class DriveFailureError(FaultError):
+    """The drive hardware failed and needs repair (MTBF/MTTR model)."""
+
+    kind = "drive-failure"
+    transient = False
+
+
+class RobotPickError(FaultError):
+    """The robot arm failed to pick/insert a cartridge (retryable)."""
+
+    kind = "robot-pick"
+    transient = True

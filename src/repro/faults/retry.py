@@ -1,0 +1,60 @@
+"""Bounded retry with exponential backoff, in simulated time.
+
+The policy is deliberately tiny: it answers "may I try again?" and "how
+long do I wait first?".  The simulator owns the loop; backoff waits are
+simulated-time timeouts during which the drive sits idle, so retries
+show up as response-time degradation exactly as they would in a real
+jukebox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and exponential-backoff schedule for one operation.
+
+    Attributes:
+        max_attempts: total tries of one physical operation (1 = no retry).
+        base_backoff_s: wait before the first retry.
+        multiplier: backoff growth factor per subsequent retry.
+        max_backoff_s: ceiling on any single backoff wait.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 2.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.base_backoff_s < 0:
+            raise ValueError(
+                f"base_backoff_s must be >= 0, got {self.base_backoff_s!r}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError(
+                f"max_backoff_s {self.max_backoff_s!r} below "
+                f"base_backoff_s {self.base_backoff_s!r}"
+            )
+
+    def allows(self, attempts_made: int) -> bool:
+        """True when another attempt fits the budget."""
+        return attempts_made < self.max_attempts
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Wait before retry number ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index!r}")
+        return min(
+            self.max_backoff_s, self.base_backoff_s * self.multiplier**retry_index
+        )
+
+    def total_backoff_s(self) -> float:
+        """Sum of all backoff waits a fully exhausted budget incurs."""
+        return sum(self.backoff_s(index) for index in range(self.max_attempts - 1))

@@ -8,8 +8,8 @@ as steady-state averages after a warm-up window, plus diagnostics
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
 
 from ..stats import Histogram, RunningStats, TimeWeightedStats
 from ..workload.requests import Request
@@ -39,6 +39,21 @@ class MetricsReport:
     #: Mean time spent queued before the delivering read began (0.0
     #: when the simulator did not supply per-read service durations).
     mean_waiting_s: float = 0.0
+    #: Injected-fault counts by kind (empty without fault injection).
+    fault_counts: Mapping[str, int] = field(default_factory=dict)
+    #: Transient-fault retries performed.
+    retries: int = 0
+    #: Requests re-queued against a surviving replica after a failure.
+    failovers: int = 0
+    #: Requests that permanently failed (no readable copy remained).
+    failed_requests: int = 0
+    #: Post-warm-up fraction of finished requests actually served
+    #: (1.0 when nothing failed — the per-request availability).
+    served_fraction: float = 1.0
+    #: Drive hardware failures repaired during the run.
+    drive_failures: int = 0
+    #: Observed mean time to repair a failed drive (0.0 without failures).
+    mean_repair_s: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - human-readable aid
         return (
@@ -70,6 +85,14 @@ class MetricsCollector:
         self.tape_switches = 0
         self.busy_s_after_warmup = 0.0
         self._end_s: Optional[float] = None
+        #: Fault/recovery counters (all stay zero without fault injection).
+        self.fault_counts: Dict[str, int] = {}
+        self.retries = 0
+        self.failovers = 0
+        self.total_failed = 0
+        self.failed_after_warmup = 0
+        self.drive_failures = 0
+        self.repair_s = 0.0
 
     # ------------------------------------------------------------------
     # Event hooks (called by the simulator)
@@ -97,6 +120,34 @@ class MetricsCollector:
             self.response_hist.add(request.response_s)
             if service_s is not None:
                 self.waiting.add(max(0.0, request.response_s - service_s))
+
+    def on_fault(self, kind: str, now: float) -> None:
+        """The injector raised a fault of ``kind``."""
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    def on_retry(self, now: float) -> None:
+        """A transient fault is being retried (after backoff)."""
+        self.retries += 1
+
+    def on_failover(self, count: int, now: float) -> None:
+        """``count`` requests were re-queued against surviving replicas."""
+        self.failovers += count
+
+    def on_request_failed(self, request: Request, now: float) -> None:
+        """A request permanently failed: no readable copy of its block."""
+        self.total_failed += 1
+        self._outstanding -= 1
+        self.queue.update(now, self._outstanding)
+        if now >= self.warmup_s:
+            self.failed_after_warmup += 1
+
+    def on_drive_failure(self, now: float) -> None:
+        """A drive hardware failure occurred."""
+        self.drive_failures += 1
+
+    def on_drive_repair(self, now: float, duration_s: float) -> None:
+        """A failed drive entered repair for ``duration_s`` seconds."""
+        self.repair_s += duration_s
 
     def on_tape_switch(self, now: float) -> None:
         """A tape switch completed."""
@@ -140,6 +191,16 @@ class MetricsCollector:
             if self.response_hist.count
             else 0.0
         )
+        # Every mean below degrades to 0.0 (and served_fraction to 1.0)
+        # when its denominator is zero, so a run with no completed
+        # requests still yields a finite, NaN-free report.
+        finished = self.completed_after_warmup + self.failed_after_warmup
+        served_fraction = (
+            self.completed_after_warmup / finished if finished > 0 else 1.0
+        )
+        mean_repair_s = (
+            self.repair_s / self.drive_failures if self.drive_failures > 0 else 0.0
+        )
         return MetricsReport(
             measured_s=measured_s,
             completed=self.completed_after_warmup,
@@ -157,4 +218,11 @@ class MetricsCollector:
             arrivals=self.arrivals,
             total_completed=self.total_completed,
             mean_waiting_s=self.waiting.mean,
+            fault_counts=dict(self.fault_counts),
+            retries=self.retries,
+            failovers=self.failovers,
+            failed_requests=self.failed_after_warmup,
+            served_fraction=served_fraction,
+            drive_failures=self.drive_failures,
+            mean_repair_s=mean_repair_s,
         )

@@ -12,6 +12,13 @@ Scope: the FIFO, static, and dynamic scheduler families are supported.
 The envelope-extension algorithm plans globally across all tapes and
 would need a redesign to coordinate several drives' envelopes — that
 remains future work here too, as in the paper.
+
+When a :class:`~repro.faults.FaultInjector` is attached the fleet runs
+in *degraded mode* under faults: a failed drive releases its claimed
+tape (the surviving drives' schedulers immediately see it and pick up
+the re-queued sweep remainder), faulted reads retry then fail over to
+surviving copies through the shared pending list, and robot picks can
+fail while the arm is held.
 """
 
 from __future__ import annotations
@@ -22,8 +29,11 @@ from typing import Dict, List, Optional
 from ..core.base import Scheduler, SchedulerContext
 from ..core.envelope import EnvelopeScheduler
 from ..core.pending import PendingList
-from ..core.sweep import ServiceList
+from ..core.sweep import ServiceEntry, ServiceList
 from ..des import Environment, Event, Resource
+from ..faults.injector import FaultInjector
+from ..faults.masking import FaultMaskedCatalog
+from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
 from ..tape.drive import TapeDrive
 from ..tape.tape import TapePool
@@ -137,6 +147,8 @@ class MultiDriveSimulator:
         tape_count: int = 10,
         capacity_mb: float = 7.0 * 1024,
         timing: DriveTimingModel = EXB_8505XL,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if drive_count <= 0:
             raise ValueError(f"drive_count must be positive, got {drive_count!r}")
@@ -146,10 +158,23 @@ class MultiDriveSimulator:
         self.catalog = catalog
         self.source = source
         self.metrics = metrics
+        self.faults = faults
+        if retry is None and faults is not None:
+            retry = faults.config.retry
+        self.retry = retry
         self.pool = TapePool.uniform(tape_count, capacity_mb)
         self.robot = Resource(env, capacity=1)
         self.robot_swap_s = timing.robot_swap_s
-        self.pending = PendingList(catalog)
+        masked_tapes = set()
+        scheduler_catalog = catalog
+        if faults is not None:
+            masked_tapes = faults.failed_tapes
+            scheduler_catalog = FaultMaskedCatalog(
+                catalog, masked_tapes, faults.known_bad
+            )
+        #: Catalog as the schedulers see it (fault-masked when enabled).
+        self.catalog_view = scheduler_catalog
+        self.pending = PendingList(scheduler_catalog)
         #: tape_id -> index of the drive that claimed it.
         self.claims: Dict[int, int] = {}
         self.tape_switches = 0
@@ -171,8 +196,9 @@ class MultiDriveSimulator:
             filtered = ClaimFilteredPending(self.pending, self.claims, drive_index)
             context = SchedulerContext(
                 jukebox=view,  # duck-typed: mounted_id / head_mb / timing / tape_count
-                catalog=catalog,
+                catalog=scheduler_catalog,
                 pending=filtered,
+                masked_tapes=masked_tapes,
             )
             self.drives.append(drive)
             self.schedulers.append(scheduler)
@@ -192,7 +218,9 @@ class MultiDriveSimulator:
         for drive_index, context in enumerate(self.contexts):
             if context.service is None or context.mounted_id is None:
                 continue
-            if not self.catalog.has_replica_on(request.block_id, context.mounted_id):
+            if not self.catalog_view.has_replica_on(
+                request.block_id, context.mounted_id
+            ):
                 continue
             self.schedulers[drive_index].on_arrival(context, request)
             # Either inserted into that drive's sweep, or deferred to the
@@ -247,6 +275,12 @@ class MultiDriveSimulator:
         drive = self.drives[drive_index]
         block_mb = self.catalog.block_mb
         while True:
+            if self.faults is not None:
+                if self.faults.drive_failure_due(drive_index, self.env.now):
+                    yield from self._repair_drive(drive_index)
+                    continue
+                self._drop_lost_requests()
+
             decision = (
                 scheduler.major_reschedule(context) if len(self.pending) else None
             )
@@ -269,29 +303,186 @@ class MultiDriveSimulator:
                 if drive.is_loaded:
                     yield self._timed(drive.rewind())
                     yield self._timed(drive.eject())
-                grant = self.robot.acquire()
-                yield grant
-                try:
-                    yield self._timed(self.robot_swap_s)
-                finally:
-                    self.robot.release()
+                mounted = yield from self._swap_tape(drive_index, decision.tape_id)
                 if old_tape is not None:
                     del self.claims[old_tape]
                     self._wake_idle_drives()  # the old tape is free again
+                if not mounted:
+                    # The pick never succeeded: the tape is out of
+                    # service; its planned sweep has been failed over.
+                    del self.claims[decision.tape_id]
+                    context.service = None
+                    self._wake_idle_drives()
+                    continue
                 yield self._timed(drive.load(self.pool[decision.tape_id]))
                 self.tape_switches += 1
                 self.metrics.on_tape_switch(self.env.now)
 
+            drive_failed = False
             while not service.is_empty:
+                if self.faults is not None and self.faults.drive_failure_due(
+                    drive_index, self.env.now
+                ):
+                    # Degraded mode: the unread remainder returns to the
+                    # shared pending list, so a surviving drive can pick
+                    # it up while this one repairs.
+                    self._requeue_entries(service.remaining())
+                    while not service.is_empty:
+                        service.pop_next()
+                    service.finish_in_flight()
+                    drive_failed = True
+                    break
                 entry = service.pop_next()
-                yield self._timed(drive.access(entry.position_mb, block_mb))
-                service.finish_in_flight()
-                for request in entry.requests:
-                    self.metrics.on_completion(request, self.env.now)
-                    if self.source.is_closed:
-                        replacement = self.source.on_completion(self.env.now)
-                        if replacement is not None:
-                            self.submit(replacement)
+                duration = drive.access(entry.position_mb, block_mb)
+                yield self._timed(duration)
+                fault = (
+                    self.faults.read_fault(drive.mounted_id, entry.block_id)
+                    if self.faults is not None
+                    else None
+                )
+                if fault is None:
+                    service.finish_in_flight()
+                    self._deliver(entry, duration)
+                else:
+                    yield from self._recover_read(drive_index, entry, fault)
+                    service.finish_in_flight()
 
             context.service = None
             scheduler.on_sweep_complete(context)
+            if drive_failed:
+                yield from self._repair_drive(drive_index)
+
+    # ------------------------------------------------------------------
+    # Completion and fault recovery
+    # ------------------------------------------------------------------
+    def _deliver(self, entry: ServiceEntry, service_s: float) -> None:
+        """Complete every request coalesced onto a successful read."""
+        for request in entry.requests:
+            self.metrics.on_completion(request, self.env.now, service_s=service_s)
+            if self.source.is_closed:
+                replacement = self.source.on_completion(self.env.now)
+                if replacement is not None:
+                    self.submit(replacement)
+
+    def _swap_tape(self, drive_index: int, tape_id: int):
+        """Acquire the arm and swap; False when the pick never succeeds."""
+        attempts = 0
+        while True:
+            grant = self.robot.acquire()
+            yield grant
+            try:
+                fault = (
+                    self.faults.robot_pick_fault(tape_id)
+                    if self.faults is not None
+                    else None
+                )
+                if fault is None:
+                    yield self._timed(self.robot_swap_s)
+                    return True
+                # The failed pick wastes one arm motion with the arm held.
+                self.metrics.on_fault(fault.kind, self.env.now)
+                yield self._timed(self.robot_swap_s)
+            finally:
+                self.robot.release()
+            attempts += 1
+            if self.retry is not None and self.retry.allows(attempts):
+                self.metrics.on_retry(self.env.now)
+                backoff_s = self.retry.backoff_s(attempts - 1)
+                if backoff_s > 0:
+                    yield self.env.timeout(backoff_s)
+                continue
+            # The cartridge is stuck: mask the tape and fail over the
+            # sweep planned against it.
+            self.faults.fail_tape(tape_id)
+            service = self.contexts[drive_index].service
+            if service is not None:
+                for entry in service.remaining():
+                    self._resolve_replica_failure(entry)
+                while not service.is_empty:
+                    service.pop_next()
+                service.finish_in_flight()
+            self._drop_lost_requests()
+            return False
+
+    def _recover_read(self, drive_index: int, entry: ServiceEntry, fault):
+        """Retry a faulted read in place; escalate to failover if futile."""
+        drive = self.drives[drive_index]
+        tape_id = drive.mounted_id
+        block_mb = self.catalog.block_mb
+        attempts = 1
+        while True:
+            self.metrics.on_fault(fault.kind, self.env.now)
+            if not (
+                fault.transient
+                and self.retry is not None
+                and self.retry.allows(attempts)
+            ):
+                break
+            backoff_s = self.retry.backoff_s(attempts - 1)
+            self.metrics.on_retry(self.env.now)
+            if backoff_s > 0:
+                yield self.env.timeout(backoff_s)
+            duration = drive.access(entry.position_mb, block_mb)
+            yield self._timed(duration)
+            attempts += 1
+            fault = self.faults.read_fault(tape_id, entry.block_id)
+            if fault is None:
+                self._deliver(entry, duration)
+                return
+        # Permanent fault, or the retry budget ran out: this copy is done.
+        self.faults.condemn_replica(tape_id, entry.block_id)
+        self._resolve_replica_failure(entry)
+
+    def _resolve_replica_failure(self, entry: ServiceEntry) -> None:
+        """Fail over ``entry``'s requests to a surviving copy, or fail them."""
+        if self.faults.surviving_replicas(entry.block_id):
+            self.metrics.on_failover(len(entry.requests), self.env.now)
+            for request in entry.requests:
+                self.pending.append(request)
+            self._wake_idle_drives()
+        else:
+            for request in entry.requests:
+                self._fail_request(request)
+
+    def _fail_request(self, request: Request) -> None:
+        """Permanently fail ``request`` (keeps a closed population going)."""
+        self.metrics.on_request_failed(request, self.env.now)
+        if self.source.is_closed:
+            replacement = self.source.on_completion(self.env.now)
+            if replacement is not None:
+                self.submit(replacement)
+
+    def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
+        """Return un-read sweep entries to the shared pending list."""
+        for entry in entries:
+            for request in entry.requests:
+                self.pending.append(request)
+        self._wake_idle_drives()
+
+    def _drop_lost_requests(self) -> None:
+        """Fail pending requests whose every known copy is gone."""
+        lost = [
+            request
+            for request in self.pending.snapshot()
+            if self.faults.block_lost(request.block_id)
+        ]
+        if lost:
+            self.pending.remove_many(lost)
+            for request in lost:
+                self._fail_request(request)
+
+    def _repair_drive(self, drive_index: int):
+        """Take one drive down for repair while the rest keep serving."""
+        drive = self.drives[drive_index]
+        failure_start = self.env.now
+        self.metrics.on_drive_failure(failure_start)
+        self.metrics.on_fault("drive-failure", failure_start)
+        repair_s = self.faults.begin_repair(drive_index, failure_start)
+        self.metrics.on_drive_repair(failure_start, repair_s)
+        mounted = drive.mounted_id
+        drive.force_unload()
+        if mounted is not None and self.claims.get(mounted) == drive_index:
+            # Release the claim so surviving drives can mount this tape.
+            del self.claims[mounted]
+            self._wake_idle_drives()
+        yield self.env.timeout(repair_s)

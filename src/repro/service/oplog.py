@@ -21,6 +21,12 @@ class OpKind(enum.Enum):
     READ = "read"
     WRITE = "write"
     IDLE = "idle"
+    #: An injected fault fired (zero-duration marker; ``detail`` = kind).
+    FAULT = "fault"
+    #: Backoff wait before retrying a transient fault.
+    BACKOFF = "backoff"
+    #: Drive down for repair after a hardware failure.
+    REPAIR = "repair"
 
 
 @dataclass(frozen=True)
@@ -33,6 +39,8 @@ class Operation:
     tape_id: Optional[int] = None
     position_mb: Optional[float] = None
     block_id: Optional[int] = None
+    #: Free-form qualifier (e.g. the fault kind for FAULT records).
+    detail: Optional[str] = None
 
     @property
     def end_s(self) -> float:
@@ -95,6 +103,8 @@ class OperationLog:
                 where += f" pos={operation.position_mb:g}MB"
             if operation.block_id is not None:
                 where += f" block={operation.block_id}"
+            if operation.detail is not None:
+                where += f" [{operation.detail}]"
             lines.append(
                 f"{operation.start_s:12.2f}s  {operation.kind.value:6s} "
                 f"{operation.duration_s:9.2f}s{where}"

@@ -13,16 +13,29 @@ are committed at operation start and the simulated clock advances by the
 returned duration, so a request arriving during an operation sees the
 operation as already committed (it may only affect the not-yet-started
 remainder of the sweep).
+
+When a :class:`~repro.faults.FaultInjector` is attached, each physical
+operation may fail: transient faults are retried under the
+:class:`~repro.faults.RetryPolicy` (backoff waits elapse in simulated
+time with the drive idle), permanent ones trigger *replica failover* —
+the failed read's requests re-enter the pending list and the schedulers,
+consulting the catalog through the fault-masked view, re-plan them onto
+a surviving copy.  Requests whose every copy is lost fail permanently.
+Without an injector every fault branch is skipped outright, so
+fault-free runs are bit-identical to the pre-fault simulator.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from ..core.base import Scheduler, SchedulerContext
 from ..core.pending import PendingList
-from ..core.sweep import ServiceList
+from ..core.sweep import ServiceEntry
 from ..des import Environment, Event
+from ..faults.injector import FaultInjector
+from ..faults.masking import FaultMaskedCatalog
+from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
 from ..tape.jukebox import Jukebox
 from ..workload.requests import Request
@@ -42,14 +55,34 @@ class JukeboxSimulator:
         source,
         metrics: MetricsCollector,
         oplog: Optional[OperationLog] = None,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.env = env
         self.jukebox = jukebox
         self.scheduler = scheduler
         self.source = source
         self.metrics = metrics
+        self.faults = faults
+        if retry is None and faults is not None:
+            retry = faults.config.retry
+        self.retry = retry
+        masked_tapes = set()
+        scheduler_catalog = catalog
+        if faults is not None:
+            # Schedulers (and the pending list's candidate queries) see
+            # the catalog through the fault mask, so a tape taken out of
+            # service or a copy discovered bad vanishes from the next
+            # scheduling decision.
+            masked_tapes = faults.failed_tapes
+            scheduler_catalog = FaultMaskedCatalog(
+                catalog, masked_tapes, faults.known_bad
+            )
         self.context = SchedulerContext(
-            jukebox=jukebox, catalog=catalog, pending=PendingList(catalog)
+            jukebox=jukebox,
+            catalog=scheduler_catalog,
+            pending=PendingList(scheduler_catalog),
+            masked_tapes=masked_tapes,
         )
         self._wakeup: Optional[Event] = None
         self._started = False
@@ -121,10 +154,16 @@ class JukeboxSimulator:
         return self.env.timeout(duration_s)
 
     def _drive_process(self):
-        """The paper's four-step service loop."""
+        """The paper's four-step service loop (fault-aware when enabled)."""
         context = self.context
         block_mb = context.catalog.block_mb
         while True:
+            if self.faults is not None and self.faults.drive_failure_due(
+                0, self.env.now
+            ):
+                yield from self._repair_drive()
+                continue
+
             # Step 4: idle-wait for work.
             while len(context.pending) == 0:
                 idle_start = self.env.now
@@ -133,9 +172,23 @@ class JukeboxSimulator:
                 self._wakeup = None
                 self._log(OpKind.IDLE, idle_start, self.env.now - idle_start)
 
+            # Requests whose every known copy is gone can never be
+            # scheduled (the masked catalog shows them no replicas) —
+            # fail them before planning, then re-check for work.
+            if self.faults is not None:
+                self._drop_lost_requests()
+                if len(context.pending) == 0:
+                    continue
+
             # Step 1: major reschedule.
             decision = self.scheduler.major_reschedule(context)
             if decision is None:  # pragma: no cover - pending was non-empty
+                continue
+            if self.faults is not None and self.faults.tape_failed(decision.tape_id):
+                # Backstop for schedulers that plan outside the masked
+                # pending view (envelope): fail over the whole decision.
+                for entry in decision.entries:
+                    self._resolve_replica_failure(entry)
                 continue
 
             # Step 2: switch tapes if necessary.  The service list exists
@@ -147,16 +200,35 @@ class JukeboxSimulator:
             )
             context.service = service
             if switching:
-                switch_start = self.env.now
-                duration = self.jukebox.switch_to(decision.tape_id)
-                yield self._timed(duration)
-                self.metrics.on_tape_switch(self.env.now)
-                self._log(
-                    OpKind.SWITCH, switch_start, duration, tape_id=decision.tape_id
-                )
+                if self.faults is not None:
+                    mounted = yield from self._switch_with_faults(decision.tape_id)
+                    if not mounted:
+                        context.service = None
+                        continue
+                else:
+                    switch_start = self.env.now
+                    duration = self.jukebox.switch_to(decision.tape_id)
+                    yield self._timed(duration)
+                    self.metrics.on_tape_switch(self.env.now)
+                    self._log(
+                        OpKind.SWITCH, switch_start, duration, tape_id=decision.tape_id
+                    )
 
             # Step 3: execute the service list as one sweep.
+            drive_failed = False
             while not service.is_empty:
+                if self.faults is not None and self.faults.drive_failure_due(
+                    0, self.env.now
+                ):
+                    # The drive died mid-sweep: the unread remainder goes
+                    # back to the pending list to be re-planned after
+                    # repair (same tape, same copies — nothing was lost).
+                    self._requeue_entries(service.remaining())
+                    while not service.is_empty:
+                        service.pop_next()
+                    service.finish_in_flight()
+                    drive_failed = True
+                    break
                 entry = service.pop_next()
                 read_start = self.env.now
                 duration = self.jukebox.access(entry.position_mb, block_mb)
@@ -169,15 +241,180 @@ class JukeboxSimulator:
                     position_mb=entry.position_mb,
                     block_id=entry.block_id,
                 )
-                service.finish_in_flight()
-                for request in entry.requests:
-                    self.metrics.on_completion(request, self.env.now, service_s=duration)
-                    if self.on_request_complete is not None:
-                        self.on_request_complete(request, self.env.now)
-                    if self.source.is_closed:
-                        replacement = self.source.on_completion(self.env.now)
-                        if replacement is not None:
-                            self.submit(replacement)
+                fault = (
+                    self.faults.read_fault(self.jukebox.mounted_id, entry.block_id)
+                    if self.faults is not None
+                    else None
+                )
+                if fault is None:
+                    service.finish_in_flight()
+                    self._deliver(entry, duration)
+                else:
+                    yield from self._recover_read(entry, fault)
+                    service.finish_in_flight()
 
             context.service = None
             self.scheduler.on_sweep_complete(context)
+            if drive_failed:
+                yield from self._repair_drive()
+
+    # ------------------------------------------------------------------
+    # Completion and fault recovery
+    # ------------------------------------------------------------------
+    def _deliver(self, entry: ServiceEntry, service_s: float) -> None:
+        """Complete every request coalesced onto a successful read."""
+        for request in entry.requests:
+            self.metrics.on_completion(request, self.env.now, service_s=service_s)
+            if self.on_request_complete is not None:
+                self.on_request_complete(request, self.env.now)
+            if self.source.is_closed:
+                replacement = self.source.on_completion(self.env.now)
+                if replacement is not None:
+                    self.submit(replacement)
+
+    def _recover_read(self, entry: ServiceEntry, fault):
+        """Retry a faulted read in place; escalate to failover if futile."""
+        tape_id = self.jukebox.mounted_id
+        block_mb = self.context.catalog.block_mb
+        attempts = 1
+        while True:
+            self.metrics.on_fault(fault.kind, self.env.now)
+            self._log(
+                OpKind.FAULT,
+                self.env.now,
+                0.0,
+                tape_id=tape_id,
+                position_mb=entry.position_mb,
+                block_id=entry.block_id,
+                detail=fault.kind,
+            )
+            if not (
+                fault.transient
+                and self.retry is not None
+                and self.retry.allows(attempts)
+            ):
+                break
+            backoff_s = self.retry.backoff_s(attempts - 1)
+            self.metrics.on_retry(self.env.now)
+            if backoff_s > 0:
+                backoff_start = self.env.now
+                yield self.env.timeout(backoff_s)
+                self._log(
+                    OpKind.BACKOFF,
+                    backoff_start,
+                    backoff_s,
+                    tape_id=tape_id,
+                    block_id=entry.block_id,
+                )
+            read_start = self.env.now
+            duration = self.jukebox.access(entry.position_mb, block_mb)
+            yield self._timed(duration)
+            self._log(
+                OpKind.READ,
+                read_start,
+                duration,
+                tape_id=tape_id,
+                position_mb=entry.position_mb,
+                block_id=entry.block_id,
+                detail="retry",
+            )
+            attempts += 1
+            fault = self.faults.read_fault(tape_id, entry.block_id)
+            if fault is None:
+                self._deliver(entry, duration)
+                return
+        # Permanent fault, or the retry budget ran out: this copy is done.
+        self.faults.condemn_replica(tape_id, entry.block_id)
+        self._resolve_replica_failure(entry)
+
+    def _resolve_replica_failure(self, entry: ServiceEntry) -> None:
+        """Fail over ``entry``'s requests to a surviving copy, or fail them."""
+        if self.faults.surviving_replicas(entry.block_id):
+            self.metrics.on_failover(len(entry.requests), self.env.now)
+            for request in entry.requests:
+                self.context.pending.append(request)
+        else:
+            for request in entry.requests:
+                self._fail_request(request)
+
+    def _fail_request(self, request: Request) -> None:
+        """Permanently fail ``request`` (keeps a closed population going)."""
+        self.metrics.on_request_failed(request, self.env.now)
+        if self.source.is_closed:
+            replacement = self.source.on_completion(self.env.now)
+            if replacement is not None:
+                self.submit(replacement)
+
+    def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
+        """Return un-read sweep entries to the pending list (no failover)."""
+        for entry in entries:
+            for request in entry.requests:
+                self.context.pending.append(request)
+
+    def _drop_lost_requests(self) -> None:
+        """Fail pending requests whose every known copy is gone."""
+        lost = [
+            request
+            for request in self.context.pending.snapshot()
+            if self.faults.block_lost(request.block_id)
+        ]
+        if lost:
+            self.context.pending.remove_many(lost)
+            for request in lost:
+                self._fail_request(request)
+
+    def _switch_with_faults(self, tape_id: int):
+        """Mount ``tape_id`` under robot pick faults; True when mounted."""
+        attempts = 0
+        while True:
+            fault = self.faults.robot_pick_fault(tape_id)
+            if fault is None:
+                switch_start = self.env.now
+                duration = self.jukebox.switch_to(tape_id)
+                yield self._timed(duration)
+                self.metrics.on_tape_switch(self.env.now)
+                self._log(OpKind.SWITCH, switch_start, duration, tape_id=tape_id)
+                return True
+            attempts += 1
+            self.metrics.on_fault(fault.kind, self.env.now)
+            # The failed pick still wastes one arm motion.
+            wasted_start = self.env.now
+            yield self._timed(self.jukebox.timing.robot_swap_s)
+            self._log(
+                OpKind.FAULT,
+                wasted_start,
+                self.jukebox.timing.robot_swap_s,
+                tape_id=tape_id,
+                detail=fault.kind,
+            )
+            if self.retry is not None and self.retry.allows(attempts):
+                backoff_s = self.retry.backoff_s(attempts - 1)
+                self.metrics.on_retry(self.env.now)
+                if backoff_s > 0:
+                    backoff_start = self.env.now
+                    yield self.env.timeout(backoff_s)
+                    self._log(OpKind.BACKOFF, backoff_start, backoff_s, tape_id=tape_id)
+                continue
+            # The cartridge is stuck: take the tape out of service and
+            # fail over everything scheduled against it.
+            self.faults.fail_tape(tape_id)
+            service = self.context.service
+            if service is not None:
+                for entry in service.remaining():
+                    self._resolve_replica_failure(entry)
+                while not service.is_empty:
+                    service.pop_next()
+                service.finish_in_flight()
+            self._drop_lost_requests()
+            return False
+
+    def _repair_drive(self):
+        """Take the drive down for repair; re-arm its failure clock."""
+        failure_start = self.env.now
+        self.metrics.on_drive_failure(failure_start)
+        self.metrics.on_fault("drive-failure", failure_start)
+        repair_s = self.faults.begin_repair(0, failure_start)
+        self.metrics.on_drive_repair(failure_start, repair_s)
+        self.jukebox.unload_for_repair()
+        self._log(OpKind.REPAIR, failure_start, repair_s, detail="drive-failure")
+        yield self.env.timeout(repair_s)

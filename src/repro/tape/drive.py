@@ -138,6 +138,18 @@ class TapeDrive:
         self.counters.eject_load_s += seconds
         return seconds
 
+    def force_unload(self) -> None:
+        """Drop the mounted tape without rewinding and without timing.
+
+        Fault-recovery path: a failed drive's cartridge is pulled by the
+        repair technician, so the drive comes back empty with no rewind/
+        eject durations charged to the simulation.  A no-op when empty.
+        """
+        self.mounted = None
+        self.head_mb = 0.0
+        self.last_motion = Direction.FORWARD
+        self.read_startup_pending = True
+
     def load(self, tape: Tape) -> float:
         """Load ``tape`` into the empty drive; return the duration."""
         if self.mounted is not None:

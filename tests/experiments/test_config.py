@@ -49,6 +49,51 @@ class TestConfigValidation:
         assert changed.start_position == 1.0
         assert base.replicas == 0  # frozen original untouched
 
+    def test_replicas_must_fit_tape_count(self):
+        # NR-9 on a 10-tape jukebox uses all tapes; NR-10 cannot exist.
+        ExperimentConfig(replicas=9, tape_count=10)
+        with pytest.raises(ValueError, match="replicas"):
+            ExperimentConfig(replicas=10, tape_count=10)
+        with pytest.raises(ValueError, match="replicas"):
+            ExperimentConfig(replicas=3, tape_count=3)
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            ExperimentConfig(replicas=-1)
+
+    def test_percentages_bounded(self):
+        with pytest.raises(ValueError, match="percent_hot"):
+            ExperimentConfig(percent_hot=-5.0)
+        with pytest.raises(ValueError, match="percent_requests_hot"):
+            ExperimentConfig(percent_requests_hot=120.0)
+
+    def test_geometry_must_be_positive(self):
+        with pytest.raises(ValueError, match="tape_count"):
+            ExperimentConfig(tape_count=0)
+        with pytest.raises(ValueError, match="capacity_mb"):
+            ExperimentConfig(capacity_mb=0.0)
+        with pytest.raises(ValueError, match="block_mb"):
+            ExperimentConfig(block_mb=-16.0)
+
+    def test_intensities_must_be_positive(self):
+        with pytest.raises(ValueError, match="queue_length"):
+            ExperimentConfig(queue_length=0)
+        with pytest.raises(ValueError, match="mean_interarrival_s"):
+            ExperimentConfig(queue_length=None, mean_interarrival_s=-1.0)
+
+    def test_fault_config_attaches(self):
+        from repro.faults import FaultConfig
+
+        config = ExperimentConfig(faults=FaultConfig(media_error_rate=0.01))
+        assert config.faults.enabled
+        assert ExperimentConfig().faults is None
+
+    def test_invalid_fault_rates_rejected(self):
+        from repro.faults import FaultConfig
+
+        with pytest.raises(ValueError, match="media_error_rate"):
+            ExperimentConfig(faults=FaultConfig(media_error_rate=-0.5))
+
     def test_describe_uses_paper_notation(self):
         text = ExperimentConfig(
             percent_hot=10, percent_requests_hot=40, replicas=9, start_position=1.0,

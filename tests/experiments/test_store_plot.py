@@ -49,6 +49,34 @@ class TestResultStore:
         with pytest.raises(ValueError, match="array"):
             load_results(path)
 
+    def test_fault_config_round_trips_through_json(self, tmp_path):
+        from repro.faults import FaultConfig, RetryPolicy
+
+        faulted = run_experiment(
+            ExperimentConfig(
+                queue_length=10,
+                horizon_s=8_000.0,
+                tape_count=4,
+                capacity_mb=1000.0,
+                replicas=2,
+                faults=FaultConfig(
+                    media_error_rate=0.05,
+                    tape_media_error_rates=((1, 0.2),),
+                    bad_replica_rate=0.02,
+                    retry=RetryPolicy(max_attempts=2, base_backoff_s=1.0),
+                ),
+            )
+        )
+        path = tmp_path / "faulted.json"
+        save_results([faulted], path)
+        restored = load_results(path)[0]
+        # The nested frozen dataclasses (and their tuples) must survive
+        # JSON's list/dict flattening.
+        assert restored.config == faulted.config
+        assert isinstance(restored.config.faults.retry, RetryPolicy)
+        assert restored.report == faulted.report
+        assert restored.report.fault_counts == faulted.report.fault_counts
+
 
 class TestAsciiPlot:
     def test_empty(self):

@@ -1,0 +1,58 @@
+"""Tests for the fault-masked catalog view."""
+
+from repro.faults import FaultMaskedCatalog
+from repro.layout import PlacementSpec, build_catalog
+
+
+def make_catalog(replicas=1):
+    spec = PlacementSpec(percent_hot=10, replicas=replicas, block_mb=16.0)
+    return build_catalog(spec, 4, 1000.0)
+
+
+class TestFaultMaskedCatalog:
+    def test_empty_mask_is_transparent(self):
+        catalog = make_catalog()
+        masked = FaultMaskedCatalog(catalog, set())
+        assert masked.n_blocks == catalog.n_blocks
+        assert masked.block_mb == catalog.block_mb
+        assert masked.replicas_of(0) == tuple(catalog.replicas_of(0))
+        assert list(masked.tape_ids) == list(catalog.tape_ids)
+        assert masked.total_copies() == catalog.total_copies()
+
+    def test_failed_tape_vanishes(self):
+        catalog = make_catalog()
+        replicas = catalog.replicas_of(0)
+        dead = replicas[0].tape_id
+        masked = FaultMaskedCatalog(catalog, {dead})
+        assert dead not in list(masked.tape_ids)
+        assert masked.tape_contents(dead) == ()
+        assert masked.blocks_on_tape(dead) == []
+        assert not masked.has_replica_on(0, dead)
+        assert all(r.tape_id != dead for r in masked.replicas_of(0))
+
+    def test_mask_is_live(self):
+        """Mutating the shared set updates the view immediately."""
+        catalog = make_catalog()
+        failed = set()
+        masked = FaultMaskedCatalog(catalog, failed)
+        before = masked.replication_degree(0)
+        failed.add(catalog.replicas_of(0)[0].tape_id)
+        assert masked.replication_degree(0) == before - 1
+
+    def test_known_bad_copy_vanishes(self):
+        catalog = make_catalog()
+        replica = catalog.replicas_of(0)[0]
+        known_bad = {(replica.tape_id, 0)}
+        masked = FaultMaskedCatalog(catalog, set(), known_bad)
+        assert all(r.tape_id != replica.tape_id for r in masked.replicas_of(0))
+        assert not masked.has_replica_on(0, replica.tape_id)
+        # Only that (tape, block) pair is hidden, not the whole tape.
+        assert replica.tape_id in list(masked.tape_ids)
+        assert 0 not in masked.blocks_on_tape(replica.tape_id)
+
+    def test_fully_masked_block_has_no_replicas(self):
+        catalog = make_catalog(replicas=0)
+        replica = catalog.replicas_of(0)[0]
+        masked = FaultMaskedCatalog(catalog, set(), {(replica.tape_id, 0)})
+        assert masked.replicas_of(0) == ()
+        assert masked.replication_degree(0) == 0

@@ -1,0 +1,51 @@
+"""Tests for the bounded exponential-backoff retry policy."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_s=2.0, multiplier=2.0, max_backoff_s=10.0
+        )
+        assert policy.backoff_s(0) == 2.0
+        assert policy.backoff_s(1) == 4.0
+        assert policy.backoff_s(2) == 8.0
+        assert policy.backoff_s(3) == 10.0  # capped
+        assert policy.backoff_s(4) == 10.0
+
+    def test_allows_counts_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1)
+        assert policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_single_attempt_means_no_retries(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert not policy.allows(1)
+        assert policy.total_backoff_s() == 0.0
+
+    def test_total_backoff_sums_the_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, multiplier=2.0, max_backoff_s=100.0
+        )
+        # Three retries: 1 + 2 + 4.
+        assert policy.total_backoff_s() == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff_s=-1.0)
+
+    def test_policy_is_frozen_and_hashable(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.max_attempts = 5
+        assert hash(policy) == hash(RetryPolicy())

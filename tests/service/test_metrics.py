@@ -138,3 +138,62 @@ class TestWaitingBreakdown:
             ExperimentConfig(queue_length=20, horizon_s=10_000.0)
         ).report
         assert 0.0 < report.mean_waiting_s < report.mean_response_s
+
+
+class TestDegradedReports:
+    def test_zero_completions_report_is_finite(self):
+        """A run that served nothing still yields a NaN-free report."""
+        import dataclasses
+        import math
+
+        metrics = MetricsCollector(block_mb=16.0)
+        metrics.finalize(0.0)
+        report = metrics.report()
+        for name, value in dataclasses.asdict(report).items():
+            if isinstance(value, float):
+                assert math.isfinite(value), name
+        assert report.completed == 0
+        assert report.mean_response_s == 0.0
+        assert report.served_fraction == 1.0
+
+    def test_all_failed_report_is_finite(self):
+        """Every request failing drives served_fraction to zero, not NaN."""
+        metrics = MetricsCollector(block_mb=16.0)
+        requests = [make_request(request_id=i) for i in range(3)]
+        for request in requests:
+            metrics.on_arrival(request, 0.0)
+        for request in requests:
+            metrics.on_request_failed(request, 10.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.failed_requests == 3
+        assert report.served_fraction == 0.0
+        assert report.throughput_kb_s == 0.0
+
+    def test_fault_hooks_accumulate(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        metrics.on_fault("media-error", 1.0)
+        metrics.on_fault("media-error", 2.0)
+        metrics.on_fault("bad-block", 3.0)
+        metrics.on_retry(1.5)
+        metrics.on_failover(4, 3.5)
+        metrics.on_drive_failure(5.0)
+        metrics.on_drive_repair(5.0, 120.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.fault_counts == {"media-error": 2, "bad-block": 1}
+        assert report.retries == 1
+        assert report.failovers == 4
+        assert report.drive_failures == 1
+        assert report.mean_repair_s == pytest.approx(120.0)
+
+    def test_failed_requests_respect_warmup(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=50.0)
+        early = make_request(request_id=0)
+        late = make_request(request_id=1)
+        metrics.on_arrival(early, 0.0)
+        metrics.on_arrival(late, 0.0)
+        metrics.on_request_failed(early, 10.0)  # inside warm-up
+        metrics.on_request_failed(late, 60.0)
+        metrics.finalize(100.0)
+        assert metrics.report().failed_requests == 1

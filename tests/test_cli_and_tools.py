@@ -21,6 +21,48 @@ class TestLifecycleCommand:
         assert out.count("\n") >= 3  # header + separator + 2 rows
 
 
+class TestChaosCommand:
+    CHAOS_BASE = [
+        "chaos", "--tapes", "4", "--queue", "10", "--horizon", "12000",
+        "--seed", "5",
+    ]
+
+    def test_single_run_prints_fault_table(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            self.CHAOS_BASE
+            + [
+                "--replicas", "2",
+                "--media-error-rate", "0.1",
+                "--bad-replica-rate", "0.02",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "media-error" in out
+        assert "retries" in out
+        assert "served fraction" in out
+
+    def test_compare_replicas_table(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            self.CHAOS_BASE
+            + ["--bad-replica-rate", "0.05", "--compare-replicas", "0,2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NR-0" in out
+        assert "NR-2" in out
+        assert "served_frac" in out
+
+    def test_fault_free_chaos_run(self, capsys):
+        from repro.cli import main
+
+        assert main(self.CHAOS_BASE + ["--media-error-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "served fraction: 1.0000" in out
+
+
 class TestApiDocGenerator:
     def test_render_covers_all_packages(self):
         import sys
