@@ -1,0 +1,104 @@
+"""Campaign engine benchmark: parallel speedup and cache-hit latency.
+
+Runs a figure-sized campaign (the Figure 6 replica grid: 4 replication
+degrees x 5 queue lengths = 20 configs) three ways —
+
+1. serial, no cache (the historical ``run_experiment`` loop),
+2. ``jobs=4`` workers, writing the content-addressed cache,
+3. again with a warm cache (every point must be a hit),
+
+asserts the parallel and cached results are bit-identical to the serial
+ones, and records wall-clock numbers into ``BENCH_campaign.json`` at
+the repository root.  The >= 2x speedup assertion only applies when the
+host actually has >= 4 CPUs; the JSON records whatever was measured.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.experiments.config import ExperimentConfig
+from repro.layout import Layout
+
+from _util import HORIZON_S
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+REPLICA_COUNTS = (0, 1, 2, 4)
+QUEUE_LENGTHS = (10, 20, 30, 40, 50)
+
+
+def _grid():
+    """The Figure 6-style campaign: NR x queue-length, 20 configs."""
+    return [
+        ExperimentConfig(
+            horizon_s=HORIZON_S,
+            layout=Layout.VERTICAL,
+            replicas=replicas,
+            start_position=1.0 if replicas else 0.0,
+            queue_length=queue_length,
+        )
+        for replicas in REPLICA_COUNTS
+        for queue_length in QUEUE_LENGTHS
+    ]
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_speedup_and_cache_latency(benchmark, capsys, tmp_path):
+    configs = _grid()
+    assert len(configs) >= 20  # "figure-sized" per the acceptance bar
+
+    started = time.monotonic()
+    serial = Campaign(jobs=1).submit(configs)
+    serial_s = time.monotonic() - started
+    assert serial.stats.failures == 0
+
+    cache_dir = tmp_path / "cache"
+
+    def parallel_submit():
+        return Campaign(jobs=4, cache_dir=cache_dir).submit(configs)
+
+    started = time.monotonic()
+    parallel = benchmark.pedantic(parallel_submit, rounds=1, iterations=1)
+    parallel_s = time.monotonic() - started
+    for config in configs:
+        assert serial.require(config).report == parallel.require(config).report
+
+    started = time.monotonic()
+    cached = Campaign(jobs=4, cache_dir=cache_dir).submit(configs)
+    cached_s = time.monotonic() - started
+    assert cached.stats.hit_fraction >= 0.95
+    for config in configs:
+        assert serial.require(config).report == cached.require(config).report
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    payload = {
+        "configs": len(configs),
+        "unique": serial.stats.unique,
+        "horizon_s": HORIZON_S,
+        "cpu_count": os.cpu_count(),
+        "jobs": 4,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "cache_hit_fraction": cached.stats.hit_fraction,
+        "cached_wall_s": round(cached_s, 4),
+        "cache_hit_latency_ms_per_point": round(
+            1000.0 * cached_s / len(configs), 3
+        ),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    with capsys.disabled():
+        print("\n--- campaign engine ---")
+        for key, value in payload.items():
+            print(f"{key:30s} {value}")
+
+    # Cache hits must be far cheaper than simulating.
+    assert cached_s < serial_s / 2
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >= 2x with 4 workers, got {speedup:.2f}x"

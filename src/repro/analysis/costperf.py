@@ -57,18 +57,21 @@ def cost_performance_curve(
     tape_count: int = 10,
     scheduler: str = "envelope-max-bandwidth",
     seed: int = 42,
+    campaign=None,
 ) -> List[Tuple[int, float]]:
     """Figure 10(b): ``[(NR, cost-performance ratio)]`` for one skew.
 
     Runs the non-replicated baseline at ``base_queue_length`` and each
     replicated scheme at ``round(base / E)``, comparing per-jukebox
     throughput.  Layout follows the paper: vertical, replicas at SP-1.0.
+    The baseline and every replicated point go out as one campaign
+    submission; ``campaign=None`` runs them serially as before.
     """
     from ..experiments.config import ExperimentConfig
-    from ..experiments.runner import run_experiment
+    from ..experiments.sweeps import _campaign_or_default
 
-    def throughput(replicas: int, queue_length: int) -> float:
-        config = ExperimentConfig(
+    def point(replicas: int, queue_length: int) -> ExperimentConfig:
+        return ExperimentConfig(
             scheduler=scheduler,
             layout=Layout.VERTICAL,
             percent_hot=percent_hot,
@@ -80,17 +83,33 @@ def cost_performance_curve(
             horizon_s=horizon_s,
             seed=seed,
         )
-        return run_experiment(config).throughput_kb_s
 
-    baseline = throughput(0, base_queue_length)
+    baseline_config = point(0, base_queue_length)
+    replicated = {
+        replicas: point(
+            replicas,
+            effective_queue_length(
+                base_queue_length, expansion_factor(replicas, percent_hot)
+            ),
+        )
+        for replicas in replica_counts
+        if replicas > 0
+    }
+    submission = _campaign_or_default(campaign).submit(
+        [baseline_config, *replicated.values()]
+    )
+    baseline = submission.require(baseline_config).throughput_kb_s
     curve: List[Tuple[int, float]] = []
     for replicas in replica_counts:
         if replicas == 0:
             curve.append((0, 1.0))
             continue
-        expansion = expansion_factor(replicas, percent_hot)
-        queue_length = effective_queue_length(base_queue_length, expansion)
         curve.append(
-            (replicas, cost_performance_ratio(throughput(replicas, queue_length), baseline))
+            (
+                replicas,
+                cost_performance_ratio(
+                    submission.require(replicated[replicas]).throughput_kb_s, baseline
+                ),
+            )
         )
     return curve

@@ -1,0 +1,44 @@
+"""Parallel experiment-execution engine with content-addressed caching.
+
+Every paper figure is a family of parametric curves, and every curve is
+an embarrassingly parallel set of independent simulations.  This package
+is the single choke point those families compile down to:
+
+* :class:`Campaign` — deduplicates a batch of
+  :class:`~repro.experiments.config.ExperimentConfig`\\ s, serves what it
+  can from the on-disk cache, fans the rest out over a process pool,
+  and isolates per-point failures as error records.
+* :class:`ResultCache` — content-addressed storage keyed by a stable
+  hash of the full config (faults included) plus a code-version salt.
+* :class:`ProgressPrinter` / :class:`ProgressEvent` — optional progress
+  callbacks for long campaigns.
+
+The sweep/figure/replication helpers in :mod:`repro.experiments` are
+thin shims over :meth:`Campaign.submit`; new code should build configs
+and submit them directly (see docs/API.md for the old→new mapping).
+"""
+
+from .cache import ResultCache
+from .engine import (
+    Campaign,
+    CampaignPointError,
+    CampaignResult,
+    CampaignStats,
+    PointFailure,
+)
+from .hashing import CODE_VERSION, canonical_config_json, config_digest
+from .progress import ProgressEvent, ProgressPrinter
+
+__all__ = [
+    "CODE_VERSION",
+    "Campaign",
+    "CampaignPointError",
+    "CampaignResult",
+    "CampaignStats",
+    "PointFailure",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "ResultCache",
+    "canonical_config_json",
+    "config_digest",
+]

@@ -1,0 +1,76 @@
+"""Content-addressed on-disk cache of finished experiment results.
+
+One JSON file per result, at ``<root>/<aa>/<digest>.json`` where
+``digest`` is :func:`~repro.campaign.hashing.config_digest` of the
+config (two-character sharding keeps directories small on big sweeps).
+Files are the same versioned documents :mod:`repro.experiments.store`
+writes, so a cache entry can also be inspected or loaded by hand.
+
+Every read is defensive: a missing file, unparsable JSON, a format or
+schema-version mismatch, or a stored config that does not equal the
+requested one (hash collision or salt misuse) all count as a miss —
+the point is then re-simulated and the entry overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import ExperimentResult
+from ..experiments.store import result_from_dict, result_to_dict
+from .hashing import CODE_VERSION, config_digest
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ExperimentResult` documents."""
+
+    def __init__(self, root: Union[str, Path], salt: str = CODE_VERSION) -> None:
+        self.root = Path(root)
+        self.salt = salt
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """Where ``config``'s result lives (whether or not it exists)."""
+        digest = config_digest(config, salt=self.salt)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The cached result for ``config``, or ``None`` on any miss."""
+        path = self.path_for(config)
+        try:
+            payload = json.loads(path.read_text())
+            result = result_from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, stale-version, or stale-schema entries
+            # are silently treated as misses and later overwritten.
+            return None
+        if result.config != config:
+            return None
+        return result
+
+    def put(self, result: ExperimentResult) -> Path:
+        """Store ``result`` (atomically) and return its path."""
+        path = self.path_for(result.config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(json.dumps(result_to_dict(result), sort_keys=True))
+        os.replace(temp, path)
+        return path
+
+    def invalidate(self, config: ExperimentConfig) -> bool:
+        """Drop ``config``'s entry; True when one existed."""
+        path = self.path_for(config)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the shard directories)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,293 @@
+"""The campaign engine: dedup, cache, fan out, isolate failures.
+
+:meth:`Campaign.submit` is the single public execution surface every
+sweep, figure, and replication plan compiles down to.  Execution order
+is an implementation detail; results are keyed by config, and a given
+config's result is bit-identical whether it ran serially, in a worker
+process, or came from the cache — workers receive the full config
+(seed included) and run the exact same :func:`run_experiment`.
+
+Failure isolation: one crashed point produces a :class:`PointFailure`
+record instead of killing the batch.  Exceptions raised *inside* a
+worker are caught there and shipped back; a hard worker death (signal,
+``os._exit``) breaks the pool, in which case the still-unfinished
+points are re-run serially in-process, each under its own try/except.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import ExperimentResult, run_experiment
+from ..rng import derive_seed
+from .cache import ResultCache
+from .hashing import CODE_VERSION
+from .progress import ProgressCallback, ProgressEvent
+
+__all__ = [
+    "Campaign",
+    "CampaignPointError",
+    "CampaignResult",
+    "CampaignStats",
+    "PointFailure",
+]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Error record of one failed campaign point."""
+
+    config: ExperimentConfig
+    error: str
+    message: str
+    traceback: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Execution accounting of one submission."""
+
+    submitted: int
+    unique: int
+    cache_hits: int
+    executed: int
+    failures: int
+    duration_s: float
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of unique points served from cache."""
+        return self.cache_hits / self.unique if self.unique else 0.0
+
+
+class CampaignPointError(RuntimeError):
+    """Raised when a required campaign point failed to execute."""
+
+    def __init__(self, failure: PointFailure) -> None:
+        super().__init__(
+            f"campaign point failed ({failure.error}: {failure.message}) "
+            f"for {failure.config.describe()}"
+        )
+        self.failure = failure
+
+
+class CampaignResult:
+    """Results of one submission, keyed by configuration."""
+
+    def __init__(
+        self,
+        configs: Sequence[ExperimentConfig],
+        outcomes: Dict[ExperimentConfig, ExperimentResult],
+        failures: Dict[ExperimentConfig, PointFailure],
+        stats: CampaignStats,
+    ) -> None:
+        self.configs: Tuple[ExperimentConfig, ...] = tuple(configs)
+        self._outcomes = dict(outcomes)
+        self._failures = dict(failures)
+        self.stats = stats
+
+    @property
+    def results(self) -> Tuple[ExperimentResult, ...]:
+        """Successful results in submission order."""
+        return tuple(
+            self._outcomes[config]
+            for config in self.configs
+            if config in self._outcomes
+        )
+
+    @property
+    def failures(self) -> Tuple[PointFailure, ...]:
+        """Error records in submission order."""
+        return tuple(
+            self._failures[config]
+            for config in self.configs
+            if config in self._failures
+        )
+
+    def result_for(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The result for ``config``, or ``None`` if it failed."""
+        return self._outcomes.get(config)
+
+    def failure_for(self, config: ExperimentConfig) -> Optional[PointFailure]:
+        """The error record for ``config``, or ``None`` if it succeeded."""
+        return self._failures.get(config)
+
+    def require(self, config: ExperimentConfig) -> ExperimentResult:
+        """The result for ``config``; raises if the point failed."""
+        result = self._outcomes.get(config)
+        if result is not None:
+            return result
+        failure = self._failures.get(config)
+        if failure is not None:
+            raise CampaignPointError(failure)
+        raise KeyError(f"config was not part of this campaign: {config!r}")
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def _execute_point(item: Tuple[int, ExperimentConfig, Callable]) -> tuple:
+    """Run one point; never raises (errors are shipped back as data)."""
+    index, config, runner = item
+    try:
+        return (index, "ok", runner(config))
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        return (
+            index,
+            "error",
+            (type(exc).__name__, str(exc), traceback.format_exc()),
+        )
+
+
+class Campaign:
+    """Deduplicating, caching, parallel executor of experiment configs.
+
+    Args:
+        jobs: worker processes; 1 (the default) runs in-process.
+        cache_dir: directory of the content-addressed result cache;
+            ``None`` disables caching.
+        progress: optional per-point callback (see
+            :class:`~repro.campaign.progress.ProgressEvent`).
+        runner: the function executed per config.  Must be picklable
+            when ``jobs > 1`` (the default, :func:`run_experiment`, is).
+        salt: cache-key code-version salt (see
+            :data:`~repro.campaign.hashing.CODE_VERSION`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        progress: Optional[ProgressCallback] = None,
+        runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+        salt: str = CODE_VERSION,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir, salt=salt) if cache_dir else None
+        self.progress = progress
+        self.runner = runner
+        #: Stats of the most recent :meth:`submit` (None before any).
+        self.last_stats: Optional[CampaignStats] = None
+
+    @staticmethod
+    def derive_variants(
+        config: ExperimentConfig, count: int, stream: str = "replication"
+    ) -> List[ExperimentConfig]:
+        """``count`` copies of ``config`` under deterministic derived seeds.
+
+        Seed ``i`` is ``derive_seed(config.seed, f"{stream}:{i}")``, so
+        the variant set depends only on the root seed and the stream
+        name — identical across processes, sessions, and machines.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        return [
+            config.with_(seed=derive_seed(config.seed, f"{stream}:{index}") % (2**31))
+            for index in range(count)
+        ]
+
+    def submit(self, configs: Iterable[ExperimentConfig]) -> CampaignResult:
+        """Execute every distinct config and return the keyed results."""
+        submitted = list(configs)
+        unique = list(dict.fromkeys(submitted))
+        started = time.monotonic()
+        outcomes: Dict[ExperimentConfig, ExperimentResult] = {}
+        failures: Dict[ExperimentConfig, PointFailure] = {}
+        finished = 0
+
+        def record(kind: str, config: ExperimentConfig) -> None:
+            nonlocal finished
+            finished += 1
+            if self.progress is not None:
+                self.progress(
+                    ProgressEvent(
+                        kind=kind,
+                        config=config,
+                        completed=finished,
+                        total=len(unique),
+                    )
+                )
+
+        pending: List[ExperimentConfig] = []
+        hits = 0
+        for config in unique:
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                outcomes[config] = cached
+                hits += 1
+                record("hit", config)
+            else:
+                pending.append(config)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_parallel(pending, outcomes, failures, record)
+        else:
+            for config in pending:
+                self._run_one(config, outcomes, failures, record)
+
+        if self.cache is not None:
+            for config in pending:
+                result = outcomes.get(config)
+                if result is not None:
+                    self.cache.put(result)
+
+        stats = CampaignStats(
+            submitted=len(submitted),
+            unique=len(unique),
+            cache_hits=hits,
+            executed=len(pending),
+            failures=len(failures),
+            duration_s=time.monotonic() - started,
+        )
+        self.last_stats = stats
+        return CampaignResult(unique, outcomes, failures, stats)
+
+    # ------------------------------------------------------------------
+    def _run_one(self, config, outcomes, failures, record) -> None:
+        _index, status, payload = _execute_point((0, config, self.runner))
+        self._absorb(config, status, payload, outcomes, failures, record)
+
+    def _absorb(self, config, status, payload, outcomes, failures, record) -> None:
+        if status == "ok":
+            outcomes[config] = payload
+            record("done", config)
+        else:
+            error, message, trace = payload
+            failures[config] = PointFailure(
+                config=config, error=error, message=message, traceback=trace
+            )
+            record("error", config)
+
+    def _run_parallel(self, pending, outcomes, failures, record) -> None:
+        unfinished = set(range(len(pending)))
+        workers = min(self.jobs, len(pending))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _execute_point, (index, config, self.runner)
+                    ): index
+                    for index, config in enumerate(pending)
+                }
+                for future in as_completed(futures):
+                    index, status, payload = future.result()
+                    unfinished.discard(index)
+                    self._absorb(
+                        pending[index], status, payload, outcomes, failures, record
+                    )
+        except (BrokenProcessPool, OSError):
+            # A worker died hard (signal/os._exit) and took the pool
+            # with it; finish the stragglers serially, each isolated.
+            for index in sorted(unfinished):
+                self._run_one(pending[index], outcomes, failures, record)

@@ -1,0 +1,54 @@
+"""Progress reporting for long campaigns.
+
+A campaign accepts one callback, called once per finished point (cache
+hit, simulated, or failed) with a :class:`ProgressEvent`.  The callback
+runs in the submitting process — never inside a worker — so it may
+freely print, update a UI, or append to a log.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+from ..experiments.config import ExperimentConfig
+
+__all__ = ["ProgressEvent", "ProgressPrinter"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finished campaign point.
+
+    Attributes:
+        kind: ``"hit"`` (served from cache), ``"done"`` (simulated), or
+            ``"error"`` (the point failed; see the campaign's failures).
+        config: the point's configuration.
+        completed: points finished so far, this one included.
+        total: unique points in the submission.
+    """
+
+    kind: str
+    config: ExperimentConfig
+    completed: int
+    total: int
+
+
+#: Signature of a campaign progress callback.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class ProgressPrinter:
+    """A callback printing one status line per finished point."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ProgressEvent) -> None:
+        """Print ``[done/total] kind <config annotation>``."""
+        print(
+            f"[{event.completed}/{event.total}] {event.kind:5s} "
+            f"{event.config.describe()}",
+            file=self.stream,
+        )

@@ -2,15 +2,23 @@
 
 Examples::
 
-    tape-jukebox figure 6 --horizon 200000
+    tape-jukebox figure 6 --horizon 200000 --jobs 8 --cache-dir ~/.cache/tj
+    tape-jukebox sweep --scheduler fifo --jobs 4 --progress
     tape-jukebox run --scheduler envelope-max-bandwidth --replicas 9 \\
         --layout vertical --start-position 1.0 --queue 60
     tape-jukebox list
+
+The ``sweep``, ``figure``, and ``run`` subcommands share one campaign
+parser fragment: ``--jobs N`` fans simulations out over N worker
+processes, ``--cache-dir`` enables the content-addressed result cache
+(default: ``$REPRO_CACHE_DIR`` when set), ``--no-cache`` disables it,
+and ``--progress`` prints one line per finished point to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -20,6 +28,57 @@ from .experiments.figures import FIGURES
 from .experiments.runner import run_experiment
 from .layout.placement import Layout
 from .report.text import format_figure
+
+
+def _campaign_parent() -> argparse.ArgumentParser:
+    """The shared ``--jobs/--cache-dir/--no-cache/--progress`` fragment."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("campaign execution")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the campaign (default: 1, serial)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory "
+        "(default: $REPRO_CACHE_DIR when set, else caching off)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even when a directory is configured",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="print one line per finished campaign point to stderr",
+    )
+    return parent
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.campaign.Campaign` the subcommand uses."""
+    from .campaign import Campaign, ProgressPrinter
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    if args.no_cache:
+        cache_dir = None
+    return Campaign(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        progress=ProgressPrinter() if args.progress else None,
+    )
+
+
+def _print_campaign_stats(campaign) -> None:
+    """Summarize the campaign's last submission on stderr (``--progress``)."""
+    stats = getattr(campaign, "last_stats", None)
+    if stats is None:
+        return
+    print(
+        f"campaign: {stats.unique} unique of {stats.submitted} submitted | "
+        f"{stats.cache_hits} cache hits | {stats.executed} executed | "
+        f"{stats.failures} failures | {stats.duration_s:.2f}s wall",
+        file=sys.stderr,
+    )
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -73,8 +132,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(Hillyer/Rastogi/Silberschatz, ICDE 1999 reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    campaign_parent = _campaign_parent()
 
-    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate a paper figure", parents=[campaign_parent]
+    )
     figure_parser.add_argument("figure_id", choices=sorted(FIGURES))
     figure_parser.add_argument("--horizon", type=float, default=None)
     figure_parser.add_argument(
@@ -84,7 +146,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--plot", action="store_true", help="append an ASCII throughput/delay plot"
     )
 
-    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    run_parser = subparsers.add_parser(
+        "run", help="run a single experiment", parents=[campaign_parent]
+    )
     _add_run_arguments(run_parser)
     run_parser.add_argument(
         "--trace",
@@ -95,7 +159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="trace one parametric curve over queue lengths"
+        "sweep",
+        help="trace one parametric curve over queue lengths",
+        parents=[campaign_parent],
     )
     _add_run_arguments(sweep_parser)
     sweep_parser.add_argument(
@@ -165,11 +231,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figure":
+        campaign = _campaign_from_args(args)
         generator = FIGURES[args.figure_id]
         if args.figure_id == "10a" or args.horizon is None:
-            data = generator()
+            data = generator(campaign=campaign)
         else:
-            data = generator(horizon_s=args.horizon)
+            data = generator(horizon_s=args.horizon, campaign=campaign)
+        if args.progress:
+            _print_campaign_stats(campaign)
         if args.format == "csv":
             from .report.export import figure_to_csv
 
@@ -216,10 +285,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments.sweeps import queue_sweep
         from .report.text import format_parametric_series
 
+        campaign = _campaign_from_args(args)
         queue_lengths = [int(piece) for piece in args.queues.split(",") if piece]
         base = _config_from_args(args, queue=queue_lengths[0])
-        points = queue_sweep(base, queue_lengths)
+        points = queue_sweep(base, queue_lengths, campaign=campaign)
         print(format_parametric_series(args.scheduler, points))
+        if args.progress:
+            _print_campaign_stats(campaign)
         return 0
 
     if args.command == "chaos":
@@ -302,9 +374,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(log.format(limit=args.trace))
         return 0
 
-    result = run_experiment(config)
+    campaign = _campaign_from_args(args)
+    result = campaign.submit([config]).require(config)
     print(result.config.describe())
     print(result.report)
+    if args.progress:
+        _print_campaign_stats(campaign)
     return 0
 
 

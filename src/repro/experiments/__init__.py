@@ -1,16 +1,30 @@
-"""Evaluation harness: configs, runs, sweeps, and figure regeneration."""
+"""Evaluation harness: configs, runs, sweeps, and figure regeneration.
+
+The sweep/figure/replication helpers here are compatibility shims over
+:class:`repro.campaign.Campaign` — the execution engine with process
+parallelism, content-addressed result caching, and failure isolation.
+New code should build :class:`ExperimentConfig` batches and call
+:meth:`Campaign.submit` directly (docs/API.md maps old calls to new).
+"""
 
 from .config import DEFAULT_HORIZON_S, ExperimentConfig
 from .figures import FIGURES, FigureData
 from .replications import ReplicationReport, replicate, significantly_better
 from .runner import ExperimentResult, build_simulator, run_experiment
-from .store import load_results, save_results
+from .store import (
+    config_from_dict,
+    config_to_dict,
+    load_results,
+    save_results,
+    schema_fingerprint,
+)
 from .sweeps import (
     CurvePoint,
     PAPER_QUEUE_LENGTHS,
     curve_family,
     interarrival_sweep,
     queue_sweep,
+    queue_sweep_configs,
 )
 
 __all__ = [
@@ -23,12 +37,16 @@ __all__ = [
     "PAPER_QUEUE_LENGTHS",
     "ReplicationReport",
     "build_simulator",
+    "config_from_dict",
+    "config_to_dict",
     "curve_family",
     "interarrival_sweep",
     "load_results",
     "queue_sweep",
+    "queue_sweep_configs",
     "replicate",
     "run_experiment",
     "save_results",
+    "schema_fingerprint",
     "significantly_better",
 ]

@@ -5,6 +5,12 @@ matching what the paper plots.  ``horizon_s`` and ``queue_lengths``
 default to values that finish quickly; crank them up (the paper used
 10 million simulated seconds) for tighter estimates — the shapes are
 stable well below that.
+
+Each figure compiles to **one** campaign submission (see
+:mod:`repro.campaign`): pass ``campaign=Campaign(jobs=8, cache_dir=...)``
+to regenerate a figure in parallel and serve repeated points from the
+content-addressed cache.  With the default ``campaign=None`` everything
+runs serially in-process, exactly as the historical loops did.
 """
 
 from __future__ import annotations
@@ -12,11 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from ..analysis.costperf import cost_performance_curve, expansion_table
-from ..layout.placement import Layout
+from ..analysis.costperf import (
+    cost_performance_ratio,
+    effective_queue_length,
+    expansion_table,
+)
+from ..layout.placement import Layout, expansion_factor
 from .config import ExperimentConfig
-from .runner import run_experiment
-from .sweeps import CurvePoint, PAPER_QUEUE_LENGTHS, curve_family, queue_sweep
+from .sweeps import _campaign_or_default, curve_family, PAPER_QUEUE_LENGTHS
 
 #: Default simulated horizon for figure regeneration (seconds).
 FIGURE_HORIZON_S = 400_000.0
@@ -47,6 +56,7 @@ def figure3(
     horizon_s: float = FIGURE_HORIZON_S,
     block_sizes_mb: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
     queue_lengths: Sequence[int] = (20, 60, 100, 140),
+    campaign=None,
 ) -> FigureData:
     """Throughput (KB/s) vs I/O transfer size, one curve per queue length.
 
@@ -57,19 +67,28 @@ def figure3(
         title="The Effect of Transfer Size",
         annotation="PH-10 RH-40 NR-0 SP-0 dynamic-max-bandwidth",
     )
+    grid: Dict[str, List[Tuple[float, ExperimentConfig]]] = {}
     for queue_length in queue_lengths:
-        points: List[Tuple[float, float]] = []
-        for block_mb in block_sizes_mb:
-            result = run_experiment(
+        grid[f"Q-{queue_length}"] = [
+            (
+                float(block_mb),
                 _base(
                     horizon_s,
                     scheduler="dynamic-max-bandwidth",
                     block_mb=float(block_mb),
                     queue_length=queue_length,
-                )
+                ),
             )
-            points.append((float(block_mb), result.throughput_kb_s))
-        data.series[f"Q-{queue_length}"] = points
+            for block_mb in block_sizes_mb
+        ]
+    submission = _campaign_or_default(campaign).submit(
+        config for row in grid.values() for _block, config in row
+    )
+    for label, row in grid.items():
+        data.series[label] = [
+            (block_mb, submission.require(config).throughput_kb_s)
+            for block_mb, config in row
+        ]
     return data
 
 
@@ -93,6 +112,7 @@ def figure4(
     horizon_s: float = FIGURE_HORIZON_S,
     algorithms: Sequence[str] = FIGURE4_ALGORITHMS,
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay parametric curves for nine algorithms (NR-0)."""
     data = FigureData(
@@ -103,7 +123,7 @@ def figure4(
     bases = {
         algorithm: _base(horizon_s, scheduler=algorithm) for algorithm in algorithms
     }
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -114,6 +134,7 @@ def figure5(
     horizon_s: float = FIGURE_HORIZON_S,
     start_positions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay as hot data placement varies (NR-0), plus vertical."""
     data = FigureData(
@@ -128,7 +149,7 @@ def figure5(
             horizon_s, start_position=start_position
         )
     bases["vertical"] = _base(horizon_s, layout=Layout.VERTICAL)
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -139,6 +160,7 @@ def figure6(
     horizon_s: float = FIGURE_HORIZON_S,
     replica_counts: Sequence[int] = (0, 1, 2, 4, 6, 9),
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay as the number of replicas varies (vertical, SP-1)."""
     data = FigureData(
@@ -156,7 +178,7 @@ def figure6(
         )
         for replicas in replica_counts
     }
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -167,6 +189,7 @@ def figure7(
     horizon_s: float = FIGURE_HORIZON_S,
     start_positions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay as replica placement varies under full replication."""
     data = FigureData(
@@ -183,7 +206,7 @@ def figure7(
         )
         for start_position in start_positions
     }
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -204,6 +227,7 @@ def figure8(
     horizon_s: float = FIGURE_HORIZON_S,
     algorithms: Sequence[str] = FIGURE8_ALGORITHMS,
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay curves under full replication (envelope vs rest)."""
     data = FigureData(
@@ -221,7 +245,7 @@ def figure8(
         )
         for algorithm in algorithms
     }
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -232,6 +256,7 @@ def figure9(
     horizon_s: float = FIGURE_HORIZON_S,
     skews: Sequence[float] = (20.0, 40.0, 60.0, 80.0),
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> FigureData:
     """Throughput/delay vs skew, replicated (solid) and not (dotted).
 
@@ -260,7 +285,7 @@ def figure9(
             replicas=9,
             start_position=1.0,
         )
-    data.series = curve_family(bases, queue_lengths)
+    data.series = curve_family(bases, queue_lengths, campaign=campaign)
     return data
 
 
@@ -270,8 +295,13 @@ def figure9(
 def figure10a(
     replica_counts: Sequence[int] = tuple(range(10)),
     percent_hot_values: Sequence[float] = (5.0, 10.0, 20.0, 30.0),
+    campaign=None,
 ) -> FigureData:
-    """Expansion factor E = 1 + NR * PH / 100 (analytic)."""
+    """Expansion factor E = 1 + NR * PH / 100 (analytic).
+
+    ``campaign`` is accepted for interface uniformity with the other
+    figures but unused: no simulation runs.
+    """
     data = FigureData(
         figure="10a",
         title="Storage Expansion Factor",
@@ -282,34 +312,88 @@ def figure10a(
     return data
 
 
+def _figure10b_config(
+    horizon_s: float,
+    skew: float,
+    replicas: int,
+    queue_length: int,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheduler="envelope-max-bandwidth",
+        layout=Layout.VERTICAL,
+        percent_hot=10.0,
+        percent_requests_hot=skew,
+        replicas=replicas,
+        start_position=1.0 if replicas else 0.0,
+        queue_length=queue_length,
+        horizon_s=horizon_s,
+    )
+
+
 def figure10b(
     horizon_s: float = FIGURE_HORIZON_S,
     skews: Sequence[float] = (20.0, 40.0, 60.0, 80.0),
     replica_counts: Sequence[int] = (0, 1, 2, 4, 6, 9),
     base_queue_length: int = 60,
+    campaign=None,
 ) -> FigureData:
     """Cost-performance ratio of replication vs none, per skew.
 
     The replicated farm needs E times more jukeboxes for the same data,
     so each jukebox sees the base workload scaled down by 1/E (paper
-    Section 4.8): queue length ``round(60 / E)``.
+    Section 4.8): queue length ``round(60 / E)``.  All skews' baseline
+    and replicated runs go out as one campaign submission.
     """
     data = FigureData(
         figure="10b",
         title="Cost-Performance of Replication",
         annotation=f"PH-10 SP-1.0 vertical, queue {base_queue_length}/E",
     )
+    baselines: Dict[float, ExperimentConfig] = {}
+    replicated: Dict[float, List[Tuple[int, ExperimentConfig]]] = {}
     for skew in skews:
-        data.series[f"RH-{skew:g}"] = cost_performance_curve(
-            horizon_s=horizon_s,
-            percent_requests_hot=skew,
-            replica_counts=replica_counts,
-            base_queue_length=base_queue_length,
-        )
+        baselines[skew] = _figure10b_config(horizon_s, skew, 0, base_queue_length)
+        replicated[skew] = [
+            (
+                replicas,
+                _figure10b_config(
+                    horizon_s,
+                    skew,
+                    replicas,
+                    effective_queue_length(
+                        base_queue_length, expansion_factor(replicas, 10.0)
+                    ),
+                ),
+            )
+            for replicas in replica_counts
+            if replicas > 0
+        ]
+    submission = _campaign_or_default(campaign).submit(
+        list(baselines.values())
+        + [config for row in replicated.values() for _nr, config in row]
+    )
+    for skew in skews:
+        baseline_kb_s = submission.require(baselines[skew]).throughput_kb_s
+        curve: List[Tuple[int, float]] = []
+        for replicas in replica_counts:
+            if replicas == 0:
+                curve.append((0, 1.0))
+                continue
+            config = dict(replicated[skew])[replicas]
+            curve.append(
+                (
+                    replicas,
+                    cost_performance_ratio(
+                        submission.require(config).throughput_kb_s, baseline_kb_s
+                    ),
+                )
+            )
+        data.series[f"RH-{skew:g}"] = curve
     return data
 
 
 #: Registry used by the CLI: figure id -> generator function.
+#: Every generator accepts ``campaign=`` (10a ignores it — analytic).
 FIGURES = {
     "3": figure3,
     "4": figure4,

@@ -7,15 +7,21 @@ Student-t confidence interval over the per-run estimates.  This module
 provides that harness plus a helper to decide whether two
 configurations differ significantly — used by tests to keep the
 benchmark assertions honest about noise.
+
+.. deprecated::
+    :func:`replicate` is a shim over
+    :meth:`repro.campaign.Campaign.submit`; the derived-seed variants
+    come from :meth:`repro.campaign.Campaign.derive_variants`, so seeds
+    are identical to the historical serial loop.  Pass ``campaign=`` to
+    run replications in parallel and/or cached.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, Sequence
 
-from ..rng import derive_seed
 from ..stats.batchmeans import ConfidenceInterval, t_quantile_975
 from .config import ExperimentConfig
 from .runner import ExperimentResult, run_experiment
@@ -59,19 +65,29 @@ def replicate(
     config: ExperimentConfig,
     replications: int = 5,
     runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+    campaign=None,
 ) -> ReplicationReport:
-    """Run ``config`` under ``replications`` derived seeds."""
+    """Run ``config`` under ``replications`` derived seeds.
+
+    When ``campaign`` is given it executes the variants (possibly in
+    parallel, possibly from cache) and ``runner`` is ignored; otherwise
+    an implicit serial campaign wraps ``runner``, preserving the
+    original behaviour and seeds exactly.
+    """
+    from ..campaign import Campaign
+
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications!r}")
-    results: List[ExperimentResult] = []
-    for index in range(replications):
-        seed = derive_seed(config.seed, f"replication:{index}") % (2**31)
-        results.append(runner(config.with_(seed=seed)))
+    variants = Campaign.derive_variants(config, replications)
+    if campaign is None:
+        campaign = Campaign(runner=runner)
+    submission = campaign.submit(variants)
+    results = tuple(submission.require(variant) for variant in variants)
     throughputs = tuple(result.throughput_kb_s for result in results)
     delays = tuple(result.mean_response_s for result in results)
     return ReplicationReport(
         config=config,
-        results=tuple(results),
+        results=results,
         throughput_kb_s=ReplicatedMetric(
             "throughput_kb_s", throughputs, _interval(throughputs)
         ),

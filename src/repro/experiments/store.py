@@ -4,11 +4,23 @@ Long parameter sweeps are expensive; storing results lets analyses and
 documents (EXPERIMENTS.md) be regenerated without re-simulating.  The
 format is a stable, versioned JSON document: the config's fields plus
 the metric report's fields.
+
+Two guards make the round trip safe to use as a cache substrate
+(see :mod:`repro.campaign`):
+
+* ``version`` — the container format; bumped on incompatible layout
+  changes to the document itself.
+* ``schema`` — a fingerprint of the dataclass field sets
+  (:class:`ExperimentConfig`, :class:`MetricsReport`, and the nested
+  fault dataclasses).  When a field is added, removed, or renamed the
+  fingerprint changes and old documents are *rejected* instead of
+  silently loading with defaults filled in for the missing fields.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import List, Union
@@ -20,27 +32,40 @@ from ..service.metrics import MetricsReport
 from .config import ExperimentConfig
 from .runner import ExperimentResult
 
-#: Format version; bump on incompatible changes.
-FORMAT_VERSION = 1
+#: Format version; bump on incompatible changes to the document layout.
+FORMAT_VERSION = 2
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-ready dict of one experiment result."""
-    config = dataclasses.asdict(result.config)
-    config["layout"] = result.config.layout.value
-    return {
-        "version": FORMAT_VERSION,
-        "config": config,
-        "report": dataclasses.asdict(result.report),
-    }
+def _field_names(cls) -> tuple:
+    return tuple(sorted(field.name for field in dataclasses.fields(cls)))
 
 
-def result_from_dict(payload: dict) -> ExperimentResult:
-    """Rebuild an :class:`ExperimentResult` from a stored dict."""
-    version = payload.get("version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported result format version {version!r}")
-    config_fields = dict(payload["config"])
+def schema_fingerprint() -> str:
+    """A stable fingerprint of the serialized dataclass field sets.
+
+    Any change to the fields of the config or report dataclasses (the
+    payload of a stored result) changes this value, so stale documents
+    fail loudly on load rather than deserializing into a dataclass
+    whose new fields silently took their defaults.
+    """
+    parts = [
+        f"{cls.__name__}:{','.join(_field_names(cls))}"
+        for cls in (ExperimentConfig, MetricsReport, FaultConfig, RetryPolicy)
+    ]
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """A JSON-ready dict of one experiment configuration."""
+    payload = dataclasses.asdict(config)
+    payload["layout"] = config.layout.value
+    return payload
+
+
+def config_from_dict(payload: dict) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict`."""
+    config_fields = dict(payload)
     config_fields["layout"] = Layout(config_fields["layout"])
     if config_fields.get("faults") is not None:
         # dataclasses.asdict flattens the nested frozen dataclasses to
@@ -52,7 +77,35 @@ def result_from_dict(payload: dict) -> ExperimentResult:
             for tape_id, rate in fault_fields["tape_media_error_rates"]
         )
         config_fields["faults"] = FaultConfig(**fault_fields)
-    config = ExperimentConfig(**config_fields)
+    return ExperimentConfig(**config_fields)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-ready dict of one experiment result."""
+    return {
+        "version": FORMAT_VERSION,
+        "schema": schema_fingerprint(),
+        "config": config_to_dict(result.config),
+        "report": dataclasses.asdict(result.report),
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a stored dict.
+
+    Raises :class:`ValueError` when the document was written by an
+    incompatible format version or a different dataclass schema.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    schema = payload.get("schema")
+    if schema != schema_fingerprint():
+        raise ValueError(
+            f"result schema mismatch: stored {schema!r}, "
+            f"current {schema_fingerprint()!r}"
+        )
+    config = config_from_dict(payload["config"])
     report = MetricsReport(**payload["report"])
     return ExperimentResult(config=config, report=report)
 

@@ -4,15 +4,24 @@ Most of the paper's graphs are *parametric*: the independent variable
 (queue length) is not on either axis; as it grows it traces a curve in
 (throughput, delay) space, and a second variable (algorithm, placement,
 skew, ...) yields a family of curves.
+
+.. deprecated::
+    These helpers are thin shims over
+    :meth:`repro.campaign.Campaign.submit` — the single execution
+    surface with parallelism, caching, and failure isolation.  They
+    keep their original signatures (a bare call runs serially and
+    uncached, exactly as before) and gain an optional ``campaign=``
+    argument; new code should build configs and submit a campaign
+    directly.  See docs/API.md for the old→new mapping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 from .config import ExperimentConfig
-from .runner import ExperimentResult, run_experiment
+from .runner import ExperimentResult
 
 #: The paper's queue lengths: plotted points 20, 40, ..., 140.
 PAPER_QUEUE_LENGTHS = (20, 40, 60, 80, 100, 120, 140)
@@ -46,37 +55,68 @@ class CurvePoint:
         )
 
 
+def _campaign_or_default(campaign):
+    if campaign is not None:
+        return campaign
+    from ..campaign import Campaign
+
+    return Campaign()
+
+
+def queue_sweep_configs(
+    base: ExperimentConfig,
+    queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+) -> List[ExperimentConfig]:
+    """The configs a closed-queueing sweep submits, in plot order."""
+    return [base.with_(queue_length=queue_length) for queue_length in queue_lengths]
+
+
 def queue_sweep(
     base: ExperimentConfig,
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> List[CurvePoint]:
     """Trace one closed-queueing parametric curve over ``queue_lengths``."""
-    points = []
-    for queue_length in queue_lengths:
-        result = run_experiment(base.with_(queue_length=queue_length))
-        points.append(CurvePoint.from_result(result))
-    return points
+    configs = queue_sweep_configs(base, queue_lengths)
+    submission = _campaign_or_default(campaign).submit(configs)
+    return [CurvePoint.from_result(submission.require(config)) for config in configs]
 
 
 def interarrival_sweep(
     base: ExperimentConfig,
     interarrivals_s: Sequence[float],
+    campaign=None,
 ) -> List[CurvePoint]:
     """Trace one open-queueing curve over mean interarrival times."""
-    points = []
-    for interarrival_s in interarrivals_s:
-        result = run_experiment(
-            base.with_(queue_length=None, mean_interarrival_s=interarrival_s)
-        )
-        points.append(CurvePoint.from_result(result))
-    return points
+    configs = [
+        base.with_(queue_length=None, mean_interarrival_s=interarrival_s)
+        for interarrival_s in interarrivals_s
+    ]
+    submission = _campaign_or_default(campaign).submit(configs)
+    return [CurvePoint.from_result(submission.require(config)) for config in configs]
 
 
 def curve_family(
     bases: Dict[str, ExperimentConfig],
     queue_lengths: Sequence[int] = PAPER_QUEUE_LENGTHS,
+    campaign=None,
 ) -> Dict[str, List[CurvePoint]]:
-    """One labelled parametric curve per base config."""
+    """One labelled parametric curve per base config.
+
+    The whole family goes out as **one** campaign submission, so with a
+    parallel campaign every point of every curve runs concurrently.
+    """
+    family_configs: Dict[str, List[ExperimentConfig]] = {
+        label: queue_sweep_configs(base, queue_lengths)
+        for label, base in bases.items()
+    }
+    all_configs = [
+        config for configs in family_configs.values() for config in configs
+    ]
+    submission = _campaign_or_default(campaign).submit(all_configs)
     return {
-        label: queue_sweep(base, queue_lengths) for label, base in bases.items()
+        label: [
+            CurvePoint.from_result(submission.require(config)) for config in configs
+        ]
+        for label, configs in family_configs.items()
     }

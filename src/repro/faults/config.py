@@ -44,6 +44,15 @@ class FaultConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
+        # Normalize list/iterable input to a tuple of tuples: a frozen
+        # dataclass is only hashable when every field is, and configs
+        # must hash/equal stably to serve as campaign cache keys (a
+        # JSON round trip or a careless caller hands us lists).
+        object.__setattr__(
+            self,
+            "tape_media_error_rates",
+            tuple((int(tape_id), float(rate)) for tape_id, rate in self.tape_media_error_rates),
+        )
         for name in ("media_error_rate", "bad_replica_rate", "robot_pick_error_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

@@ -1,0 +1,88 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultCache
+from repro.experiments import ExperimentConfig, run_experiment
+
+CONFIG = ExperimentConfig(
+    queue_length=5, horizon_s=5_000.0, tape_count=4, capacity_mb=500.0
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(CONFIG)
+
+
+class TestCacheHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        assert ResultCache(tmp_path).get(CONFIG) is None
+
+    def test_put_then_get_round_trips(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(result)
+        assert path.exists()
+        restored = cache.get(CONFIG)
+        assert restored is not None
+        assert restored.config == result.config
+        assert restored.report == result.report
+
+    def test_other_config_still_misses(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(result)
+        assert cache.get(CONFIG.with_(seed=99)) is None
+
+    def test_len_counts_entries(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(result)
+        assert len(cache) == 1
+
+
+class TestCacheInvalidation:
+    def test_explicit_invalidate(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(result)
+        assert cache.invalidate(CONFIG) is True
+        assert cache.get(CONFIG) is None
+        assert cache.invalidate(CONFIG) is False
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(result)
+        path.write_text("{not json")
+        assert cache.get(CONFIG) is None
+
+    def test_version_mismatch_is_a_miss_not_a_load(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(result)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(CONFIG) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(result)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "0000000000000000"
+        path.write_text(json.dumps(payload))
+        assert cache.get(CONFIG) is None
+
+    def test_salt_change_invalidates_everything(self, tmp_path, result):
+        ResultCache(tmp_path, salt="v1").put(result)
+        assert ResultCache(tmp_path, salt="v1").get(CONFIG) is not None
+        assert ResultCache(tmp_path, salt="v2").get(CONFIG) is None
+
+    def test_wrong_config_in_entry_is_a_miss(self, tmp_path, result):
+        # Paranoia guard: an entry whose stored config differs from the
+        # requested one (collision, manual tampering) must not load.
+        cache = ResultCache(tmp_path)
+        path = cache.put(result)
+        payload = json.loads(path.read_text())
+        payload["config"]["seed"] = 12345
+        path.write_text(json.dumps(payload))
+        assert cache.get(CONFIG) is None

@@ -1,0 +1,82 @@
+"""Tests for the shared CLI campaign flags (--jobs/--cache-dir/--no-cache/--progress)."""
+
+from repro.cli import main
+
+SWEEP = [
+    "sweep", "--tapes", "4", "--queues", "5,10", "--horizon", "5000",
+]
+
+
+class TestSweepFlags:
+    def test_parallel_sweep_matches_serial(self, capsys):
+        assert main(SWEEP) == 0
+        serial_out = capsys.readouterr().out
+        assert main(SWEEP + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_cache_dir_serves_second_invocation(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(SWEEP + ["--cache-dir", cache, "--progress"]) == 0
+        first = capsys.readouterr()
+        assert "2 executed" in first.err
+        assert main(SWEEP + ["--cache-dir", cache, "--progress"]) == 0
+        second = capsys.readouterr()
+        assert "2 cache hits" in second.err
+        assert "0 executed" in second.err
+        assert second.out == first.out
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(SWEEP + ["--cache-dir", cache, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "cache").exists()
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main(SWEEP + ["--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err
+        assert "[2/2]" in captured.err
+        assert "[1/2]" not in captured.out
+
+
+class TestRunFlags:
+    RUN = ["run", "--tapes", "4", "--queue", "5", "--horizon", "5000"]
+
+    def test_run_accepts_campaign_flags(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.RUN + ["--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(self.RUN + ["--cache-dir", cache, "--progress"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first
+        assert "1 cache hits" in second.err
+
+    def test_env_cache_dir_respected(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(self.RUN) == 0
+        capsys.readouterr()
+        assert (tmp_path / "envcache").exists()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        assert main(self.RUN + ["--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "ignored").exists()
+
+
+class TestFigureFlags:
+    def test_analytic_figure_accepts_campaign_flags(self, capsys):
+        assert main(["figure", "10a", "--jobs", "2"]) == 0
+        assert "PH-10" in capsys.readouterr().out
+
+    def test_simulated_figure_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "figure", "3", "--horizon", "5000",
+            "--jobs", "2", "--cache-dir", cache, "--progress",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "0 executed" in second.err

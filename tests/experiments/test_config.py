@@ -94,6 +94,29 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="media_error_rate"):
             ExperimentConfig(faults=FaultConfig(media_error_rate=-0.5))
 
+    def test_derived_fault_configs_hash_and_equal_stably(self):
+        # Regression: FaultConfig built from a *list* of per-tape rates
+        # (e.g. out of a JSON round trip) used to make with_()-derived
+        # configs unhashable and unequal to their tuple-built twins,
+        # breaking dedup and cache addressing.
+        from repro.faults import FaultConfig
+
+        listy = ExperimentConfig().with_(
+            faults=FaultConfig(tape_media_error_rates=[(1, 0.2)])
+        )
+        tupley = ExperimentConfig().with_(
+            faults=FaultConfig(tape_media_error_rates=((1, 0.2),))
+        )
+        assert listy == tupley
+        assert hash(listy) == hash(tupley)
+        assert len({listy, tupley}) == 1
+
+    def test_fault_configs_usable_as_dict_keys(self):
+        from repro.faults import FaultConfig
+
+        config = ExperimentConfig().with_(faults=FaultConfig(media_error_rate=0.1))
+        assert {config: "value"}[config.with_()] == "value"
+
     def test_describe_uses_paper_notation(self):
         text = ExperimentConfig(
             percent_hot=10, percent_requests_hot=40, replicas=9, start_position=1.0,

@@ -43,6 +43,20 @@ class TestResultStore:
         with pytest.raises(ValueError, match="version"):
             result_from_dict(payload)
 
+    def test_schema_fingerprint_checked(self, result):
+        # A document written under a different dataclass field set must
+        # be rejected, not silently loaded with defaults filled in.
+        payload = result_to_dict(result)
+        payload["schema"] = "feedfacedeadbeef"
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(payload)
+
+    def test_schema_fingerprint_is_stable(self):
+        from repro.experiments.store import schema_fingerprint
+
+        assert schema_fingerprint() == schema_fingerprint()
+        assert len(schema_fingerprint()) == 16
+
     def test_non_array_file_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"not": "an array"}')
