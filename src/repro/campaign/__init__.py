@@ -25,6 +25,7 @@ from .engine import (
     CampaignResult,
     CampaignStats,
     PointFailure,
+    PointTimeoutError,
 )
 from .hashing import CODE_VERSION, canonical_config_json, config_digest
 from .progress import ProgressEvent, ProgressPrinter
@@ -36,6 +37,7 @@ __all__ = [
     "CampaignResult",
     "CampaignStats",
     "PointFailure",
+    "PointTimeoutError",
     "ProgressEvent",
     "ProgressPrinter",
     "ResultCache",

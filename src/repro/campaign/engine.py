@@ -16,6 +16,9 @@ points are re-run serially in-process, each under its own try/except.
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -36,7 +39,45 @@ __all__ = [
     "CampaignResult",
     "CampaignStats",
     "PointFailure",
+    "PointTimeoutError",
 ]
+
+
+class PointTimeoutError(Exception):
+    """A campaign point exceeded its wall-clock budget."""
+
+
+@contextlib.contextmanager
+def _wall_clock_limit(timeout_s: Optional[float]):
+    """Raise :class:`PointTimeoutError` after ``timeout_s`` real seconds.
+
+    Implemented with ``SIGALRM``/``setitimer``, which interrupts a hung
+    simulation loop without cooperation from the running code.  Pool
+    tasks execute on each worker process's main thread, so the signal
+    lands in the right place; on platforms without ``setitimer``
+    (Windows) or off the main thread the limit degrades to a no-op
+    rather than failing the point.
+    """
+    if (
+        timeout_s is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(
+            f"campaign point exceeded {timeout_s:g}s wall-clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
@@ -135,11 +176,14 @@ class CampaignResult:
         return iter(self.results)
 
 
-def _execute_point(item: Tuple[int, ExperimentConfig, Callable]) -> tuple:
+def _execute_point(
+    item: Tuple[int, ExperimentConfig, Callable, Optional[float]]
+) -> tuple:
     """Run one point; never raises (errors are shipped back as data)."""
-    index, config, runner = item
+    index, config, runner, timeout_s = item
     try:
-        return (index, "ok", runner(config))
+        with _wall_clock_limit(timeout_s):
+            return (index, "ok", runner(config))
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         return (
             index,
@@ -161,6 +205,11 @@ class Campaign:
             when ``jobs > 1`` (the default, :func:`run_experiment`, is).
         salt: cache-key code-version salt (see
             :data:`~repro.campaign.hashing.CODE_VERSION`).
+        point_timeout_s: wall-clock budget per executed point; a point
+            that exceeds it yields a :class:`PointFailure` (error
+            ``PointTimeoutError``) instead of hanging the batch, and —
+            like every failure — is never written to the cache.
+            ``None`` (the default) leaves points unbounded.
     """
 
     def __init__(
@@ -170,10 +219,16 @@ class Campaign:
         progress: Optional[ProgressCallback] = None,
         runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
         salt: str = CODE_VERSION,
+        point_timeout_s: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be positive, got {point_timeout_s!r}"
+            )
         self.jobs = jobs
+        self.point_timeout_s = point_timeout_s
         self.cache = ResultCache(cache_dir, salt=salt) if cache_dir else None
         self.progress = progress
         self.runner = runner
@@ -255,7 +310,9 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def _run_one(self, config, outcomes, failures, record) -> None:
-        _index, status, payload = _execute_point((0, config, self.runner))
+        _index, status, payload = _execute_point(
+            (0, config, self.runner, self.point_timeout_s)
+        )
         self._absorb(config, status, payload, outcomes, failures, record)
 
     def _absorb(self, config, status, payload, outcomes, failures, record) -> None:
@@ -276,7 +333,8 @@ class Campaign:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     pool.submit(
-                        _execute_point, (index, config, self.runner)
+                        _execute_point,
+                        (index, config, self.runner, self.point_timeout_s),
                     ): index
                     for index, config in enumerate(pending)
                 }

@@ -20,7 +20,7 @@ from ..experiments.store import config_to_dict, schema_fingerprint
 #: Salt mixed into every cache key.  Bump when simulation semantics
 #: change without a dataclass field changing (scheduler fixes, timing
 #: model corrections, ...): all previously cached results then miss.
-CODE_VERSION = "sim-2026.08-pr2"
+CODE_VERSION = "sim-2026.08-pr3"
 
 
 def canonical_config_json(config: ExperimentConfig) -> str:

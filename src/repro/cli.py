@@ -51,6 +51,11 @@ def _campaign_parent() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print one line per finished campaign point to stderr",
     )
+    group.add_argument(
+        "--point-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per executed point (s); a point that "
+        "exceeds it becomes an error record instead of hanging the batch",
+    )
     return parent
 
 
@@ -65,6 +70,7 @@ def _campaign_from_args(args: argparse.Namespace):
         jobs=args.jobs,
         cache_dir=cache_dir,
         progress=ProgressPrinter() if args.progress else None,
+        point_timeout_s=args.point_timeout,
     )
 
 
@@ -221,6 +227,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rerun at each replication degree and tabulate availability",
     )
 
+    qos_parser = subparsers.add_parser(
+        "qos", help="run an experiment under overload control and report SLOs"
+    )
+    _add_run_arguments(qos_parser)
+    qos_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request TTL (s); requests not delivered in time expire",
+    )
+    qos_parser.add_argument(
+        "--admission", choices=("unbounded", "bounded-queue", "token-bucket"),
+        default="unbounded", help="admission policy at the pending-list boundary",
+    )
+    qos_parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="bounded-queue policy: shed arrivals beyond N pending requests",
+    )
+    qos_parser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="R",
+        help="token-bucket policy: sustained admission rate (requests/s)",
+    )
+    qos_parser.add_argument(
+        "--burst", type=int, default=1,
+        help="token-bucket policy: bucket depth (default: 1)",
+    )
+    qos_parser.add_argument(
+        "--starvation-age", type=float, default=None, metavar="S",
+        help="force-promote requests older than S seconds into the next sweep",
+    )
+    qos_parser.add_argument(
+        "--watchdog-stall", type=float, default=None, metavar="S",
+        help="trip the circuit breaker after S seconds without a completed "
+        "sweep while requests are pending",
+    )
+    qos_parser.add_argument(
+        "--storm-faults", type=int, default=None, metavar="N",
+        help="trip the circuit breaker after N faults with no intervening "
+        "completed sweep",
+    )
+    qos_parser.add_argument(
+        "--resume-pending", type=int, default=None, metavar="N",
+        help="close a tripped breaker once the pending list drains to N",
+    )
+    qos_parser.add_argument(
+        "--csv", action="store_true",
+        help="emit the SLO accounting as one CSV row instead of a table",
+    )
+
     subparsers.add_parser("list", help="list available schedulers")
 
     args = parser.parse_args(argv)
@@ -356,6 +409,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"drive failures: {report.drive_failures} "
                 f"(mean repair {report.mean_repair_s:.0f} s)"
             )
+        return 0
+
+    if args.command == "qos":
+        from .qos.config import QoSConfig
+        from .report.text import format_slo_report
+
+        qos_config = QoSConfig(
+            deadline_s=args.deadline,
+            admission=args.admission,
+            max_pending=args.max_pending,
+            rate_limit_per_s=args.rate_limit,
+            burst=args.burst,
+            starvation_age_s=args.starvation_age,
+            watchdog_stall_s=args.watchdog_stall,
+            storm_fault_threshold=args.storm_faults,
+            resume_pending=args.resume_pending,
+        )
+        result = run_experiment(_config_from_args(args).with_(qos=qos_config))
+        if args.csv:
+            from .report.export import slo_to_csv
+
+            print(slo_to_csv([result]), end="")
+            return 0
+        print(result.config.describe())
+        print(result.report)
+        print(format_slo_report(result.report))
         return 0
 
     config = _config_from_args(args)

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..faults.config import FaultConfig
 from ..layout.placement import Layout
+from ..qos.config import QoSConfig
 
 #: The paper simulates 10 million seconds; the default here is shorter
 #: (steady-state means converge much earlier) and benchmarks can dial it.
@@ -59,6 +60,11 @@ class ExperimentConfig:
     #: fault-free simulator — results stay bit-identical to builds
     #: without the fault subsystem (see repro.faults).
     faults: Optional[FaultConfig] = None
+    #: Overload-control knobs (admission, deadlines, starvation guard,
+    #: circuit breaker); ``None`` (or all-off) runs the QoS-free
+    #: simulator — results stay bit-identical to builds without the QoS
+    #: subsystem (see repro.qos).
+    qos: Optional[QoSConfig] = None
 
     def __post_init__(self) -> None:
         if self.drive_technology not in ("helical", "serpentine"):

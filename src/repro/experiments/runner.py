@@ -10,6 +10,7 @@ from ..des import Environment
 from ..faults.injector import FaultInjector
 from ..layout.placement import PlacementSpec, build_catalog
 from ..layout.validate import validate_catalog
+from ..qos.manager import QoSManager
 from ..service.metrics import MetricsCollector, MetricsReport
 from ..service.simulator import JukeboxSimulator
 from ..tape.jukebox import Jukebox
@@ -89,6 +90,13 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
             config.faults, catalog, drive_count=config.drive_count
         )
 
+    # Same pattern for overload control: the QoS manager exists only
+    # when some knob is set, so unconfigured runs take the exact
+    # pre-QoS path.
+    qos = None
+    if config.qos is not None and config.qos.enabled:
+        qos = QoSManager(config.qos, env, metrics)
+
     if config.drive_count > 1:
         from ..service.multidrive import MultiDriveSimulator
 
@@ -103,6 +111,7 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
             capacity_mb=config.capacity_mb,
             timing=timing,
             faults=faults,
+            qos=qos,
         )
 
     jukebox = Jukebox.build(
@@ -117,6 +126,7 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
         source=source,
         metrics=metrics,
         faults=faults,
+        qos=qos,
     )
 
 

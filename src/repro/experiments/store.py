@@ -28,6 +28,7 @@ from typing import List, Union
 from ..faults.config import FaultConfig
 from ..faults.retry import RetryPolicy
 from ..layout.placement import Layout
+from ..qos.config import QoSConfig
 from ..service.metrics import MetricsReport
 from .config import ExperimentConfig
 from .runner import ExperimentResult
@@ -50,7 +51,13 @@ def schema_fingerprint() -> str:
     """
     parts = [
         f"{cls.__name__}:{','.join(_field_names(cls))}"
-        for cls in (ExperimentConfig, MetricsReport, FaultConfig, RetryPolicy)
+        for cls in (
+            ExperimentConfig,
+            MetricsReport,
+            FaultConfig,
+            RetryPolicy,
+            QoSConfig,
+        )
     ]
     digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
     return digest[:16]
@@ -77,6 +84,8 @@ def config_from_dict(payload: dict) -> ExperimentConfig:
             for tape_id, rate in fault_fields["tape_media_error_rates"]
         )
         config_fields["faults"] = FaultConfig(**fault_fields)
+    if config_fields.get("qos") is not None:
+        config_fields["qos"] = QoSConfig(**dict(config_fields["qos"]))
     return ExperimentConfig(**config_fields)
 
 

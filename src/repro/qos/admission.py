@@ -1,0 +1,92 @@
+"""Admission control at the pending-list boundary.
+
+The controller sits in front of the pending list, so every scheduler
+family sees the same admitted stream.  Policies are deterministic
+functions of simulated time and queue state — no randomness — which
+keeps QoS runs exactly reproducible under one workload seed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .config import QoSConfig
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides, per arrival, whether a request may join the system."""
+
+    #: Shed-reason label recorded by the metrics collector.
+    shed_reason: str = "admission"
+
+    @abc.abstractmethod
+    def admit(self, now: float, pending_len: int) -> bool:
+        """True to admit an arrival at ``now`` with ``pending_len`` queued."""
+
+
+class UnboundedAdmission(AdmissionPolicy):
+    """The paper's implicit policy: admit everything (queue may diverge)."""
+
+    def admit(self, now: float, pending_len: int) -> bool:
+        """Always admit."""
+        return True
+
+
+class BoundedQueueAdmission(AdmissionPolicy):
+    """Shed arrivals while the pending list is at its cap.
+
+    Bounding the queue bounds the tail: a request that is admitted waits
+    behind at most ``max_pending`` others, so p99 response time stays
+    finite even when the offered load exceeds the service rate.
+    """
+
+    shed_reason = "queue-full"
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
+        self.max_pending = max_pending
+
+    def admit(self, now: float, pending_len: int) -> bool:
+        """Admit while the pending list has room."""
+        return pending_len < self.max_pending
+
+
+class TokenBucketAdmission(AdmissionPolicy):
+    """Rate-limit admissions to ``rate_per_s`` with ``burst`` tokens.
+
+    Tokens accrue continuously in simulated time and cap at ``burst``;
+    each admission spends one.  An arrival finding an empty bucket is
+    shed — the open-queueing analogue of a front-end rate limiter.
+    """
+
+    shed_reason = "rate-limit"
+
+    def __init__(self, rate_per_s: float, burst: int = 1) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last_s = 0.0
+
+    def admit(self, now: float, pending_len: int) -> bool:
+        """Spend a token if one has accrued by ``now``."""
+        elapsed = max(0.0, now - self._last_s)
+        self._last_s = max(self._last_s, now)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_s)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+def make_admission(config: QoSConfig) -> AdmissionPolicy:
+    """Build the admission policy ``config`` names."""
+    if config.admission == "bounded-queue":
+        return BoundedQueueAdmission(config.max_pending)
+    if config.admission == "token-bucket":
+        return TokenBucketAdmission(config.rate_limit_per_s, config.burst)
+    return UnboundedAdmission()

@@ -1,0 +1,99 @@
+"""Sweep watchdog and circuit breaker: degraded shed-load mode.
+
+The breaker watches the service loop's *progress signal* — completed
+sweeps — and its *pressure signals* — injected faults and pending-list
+depth.  Two conditions trip it open:
+
+* **stall**: no sweep has completed for ``watchdog_stall_s`` seconds
+  while requests are pending (a dead drive mid-repair, a scheduler
+  wedged behind a fault cascade);
+* **fault storm**: ``storm_fault_threshold`` faults were injected with
+  no intervening sweep completion (composes with
+  :class:`~repro.faults.FaultInjector` — a storm is just another
+  overload source).
+
+While open, the simulator sheds every new arrival (reason
+``"degraded"``).  A completing sweep closes the breaker once the
+pending list has drained to ``resume_pending`` or fewer requests
+(``None``: any completed sweep closes it).  All transitions are
+functions of simulated time, so runs remain exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .config import QoSConfig
+
+
+class BreakerState(enum.Enum):
+    """Breaker position: CLOSED admits normally, OPEN sheds everything."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+class CircuitBreaker:
+    """Stall/fault-storm detector driving degraded shed-load mode."""
+
+    def __init__(self, config: QoSConfig) -> None:
+        self.stall_s: Optional[float] = config.watchdog_stall_s
+        self.storm_threshold: Optional[int] = config.storm_fault_threshold
+        self.resume_pending: Optional[int] = config.resume_pending
+        self.state = BreakerState.CLOSED
+        #: Simulated time of the last completed sweep (or construction).
+        self.last_progress_s = 0.0
+        #: Faults injected since the last completed sweep.
+        self.faults_since_progress = 0
+        #: Times the breaker tripped open.
+        self.trips = 0
+
+    @property
+    def is_open(self) -> bool:
+        """True while the simulator is in degraded shed-load mode."""
+        return self.state is BreakerState.OPEN
+
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+
+    # ------------------------------------------------------------------
+    # Signals from the service loop
+    # ------------------------------------------------------------------
+    def note_fault(self, now: float) -> bool:
+        """Record one injected fault; True when this fault trips the breaker."""
+        self.faults_since_progress += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.storm_threshold is not None
+            and self.faults_since_progress >= self.storm_threshold
+        ):
+            self._trip()
+            return True
+        return False
+
+    def note_progress(self, now: float, pending_len: int) -> None:
+        """A sweep completed: refresh the stall clock, maybe close."""
+        self.last_progress_s = now
+        self.faults_since_progress = 0
+        if self.state is BreakerState.OPEN and (
+            self.resume_pending is None or pending_len <= self.resume_pending
+        ):
+            self.state = BreakerState.CLOSED
+
+    def evaluate(self, now: float, pending_len: int) -> bool:
+        """Shed the arrival at ``now``?  (May trip on a detected stall.)
+
+        Called once per arrival, before admission control.  Returns True
+        while open; a stall — pending work but no completed sweep for
+        ``watchdog_stall_s`` — trips the breaker on the spot.
+        """
+        if (
+            self.state is BreakerState.CLOSED
+            and self.stall_s is not None
+            and pending_len > 0
+            and now - self.last_progress_s > self.stall_s
+        ):
+            self._trip()
+        return self.is_open

@@ -1,0 +1,129 @@
+"""QoS configuration.
+
+All knobs default to off and ``QoSConfig()`` is therefore inert:
+:attr:`QoSConfig.enabled` is False and the experiment runner skips the
+QoS layer entirely, so unconfigured runs stay bit-identical to a build
+without this subsystem (the same pay-for-what-you-use guarantee as
+:class:`~repro.faults.FaultConfig`).
+
+The dataclass is frozen with scalar-only fields, so it hashes and
+compares stably — required for configs to serve as campaign cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Valid admission-policy names (see :mod:`repro.qos.admission`).
+ADMISSION_POLICIES = ("unbounded", "bounded-queue", "token-bucket")
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """Knobs of the overload-control layer (defaults = everything off).
+
+    Attributes:
+        deadline_s: per-request TTL in seconds; a request not *delivered*
+            within ``deadline_s`` of arrival expires instead of being
+            serviced (expiry-on-dequeue).  ``None`` disables deadlines.
+        admission: admission policy applied at the pending-list boundary:
+            ``"unbounded"`` (admit everything), ``"bounded-queue"``
+            (shed arrivals while the pending list holds ``max_pending``
+            requests), or ``"token-bucket"`` (rate-limit admissions to
+            ``rate_limit_per_s`` with ``burst`` tokens of depth).
+        max_pending: pending-list cap for ``"bounded-queue"``.
+        rate_limit_per_s: sustained admission rate for ``"token-bucket"``.
+        burst: token-bucket depth (admissions that may arrive back to
+            back before the rate limit bites).
+        starvation_age_s: force-promote any pending request older than
+            this into the next sweep (see
+            :class:`~repro.qos.guard.StarvationGuardScheduler`);
+            ``None`` disables the guard.
+        watchdog_stall_s: trip the circuit breaker when no sweep has
+            completed for this long while requests are pending;
+            ``None`` disables stall detection.
+        storm_fault_threshold: trip the breaker after this many injected
+            faults with no intervening sweep completion (a fault storm);
+            ``None`` disables storm detection.
+        resume_pending: with the breaker open, a completing sweep closes
+            it only once the pending list has drained to at most this
+            many requests (``None``: any completed sweep closes it).
+    """
+
+    deadline_s: Optional[float] = None
+    admission: str = "unbounded"
+    max_pending: Optional[int] = None
+    rate_limit_per_s: Optional[float] = None
+    burst: int = 1
+    starvation_age_s: Optional[float] = None
+    watchdog_stall_s: Optional[float] = None
+    storm_fault_threshold: Optional[int] = None
+    resume_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.admission == "bounded-queue":
+            if self.max_pending is None or self.max_pending < 1:
+                raise ValueError(
+                    f"bounded-queue admission requires max_pending >= 1, "
+                    f"got {self.max_pending!r}"
+                )
+        elif self.max_pending is not None:
+            raise ValueError(
+                f"max_pending only applies to bounded-queue admission "
+                f"(admission={self.admission!r})"
+            )
+        if self.admission == "token-bucket":
+            if self.rate_limit_per_s is None or self.rate_limit_per_s <= 0:
+                raise ValueError(
+                    f"token-bucket admission requires rate_limit_per_s > 0, "
+                    f"got {self.rate_limit_per_s!r}"
+                )
+        elif self.rate_limit_per_s is not None:
+            raise ValueError(
+                f"rate_limit_per_s only applies to token-bucket admission "
+                f"(admission={self.admission!r})"
+            )
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        for name in ("deadline_s", "starvation_age_s", "watchdog_stall_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if self.storm_fault_threshold is not None and self.storm_fault_threshold < 1:
+            raise ValueError(
+                f"storm_fault_threshold must be >= 1, "
+                f"got {self.storm_fault_threshold!r}"
+            )
+        if self.resume_pending is not None and self.resume_pending < 0:
+            raise ValueError(
+                f"resume_pending must be >= 0, got {self.resume_pending!r}"
+            )
+        if self.resume_pending is not None and not self.has_breaker:
+            raise ValueError(
+                "resume_pending requires watchdog_stall_s or "
+                "storm_fault_threshold to be set"
+            )
+
+    @property
+    def has_breaker(self) -> bool:
+        """True when stall or fault-storm detection is configured."""
+        return (
+            self.watchdog_stall_s is not None
+            or self.storm_fault_threshold is not None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any QoS mechanism can actually act."""
+        return bool(
+            self.deadline_s is not None
+            or self.admission != "unbounded"
+            or self.starvation_age_s is not None
+            or self.has_breaker
+        )

@@ -1,0 +1,124 @@
+"""The QoS facade the service loops talk to.
+
+One :class:`QoSManager` per simulation couples the admission policy,
+the circuit breaker, deadline stamping/expiry, and the starvation-guard
+scheduler wrapper, and routes every QoS event into the
+:class:`~repro.service.metrics.MetricsCollector`.  The simulators hold
+an ``Optional[QoSManager]``; with ``None`` every QoS branch is skipped
+outright, so unconfigured runs are bit-identical to the pre-QoS
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.base import Scheduler
+from ..workload.requests import Request
+from .admission import make_admission
+from .breaker import CircuitBreaker
+from .config import QoSConfig
+from .guard import StarvationGuardScheduler
+
+
+class QoSManager:
+    """Admission + deadlines + starvation guard + breaker, in one handle."""
+
+    def __init__(self, config: QoSConfig, env, metrics) -> None:
+        self.config = config
+        self.env = env
+        self.metrics = metrics
+        self.admission = make_admission(config)
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(config) if config.has_breaker else None
+        )
+        self.deadline_s = config.deadline_s
+        self._seen_trips = 0
+
+    # ------------------------------------------------------------------
+    # Admission (the pending-list boundary)
+    # ------------------------------------------------------------------
+    def admit(self, request: Request, pending_len: int) -> bool:
+        """Admit or shed one arrival; stamps the deadline on admission.
+
+        The breaker is consulted first (degraded mode sheds everything),
+        then the configured admission policy.  Shed requests are
+        recorded under :meth:`MetricsCollector.on_shed` with the
+        policy's reason and never reach the pending list.
+        """
+        now = self.env.now
+        if self.breaker is not None and self.breaker.evaluate(now, pending_len):
+            if self.breaker.trips != self._seen_trips:
+                self._note_trip(now)
+            self.metrics.on_shed(request, now, reason="degraded")
+            return False
+        if not self.admission.admit(now, pending_len):
+            self.metrics.on_shed(request, now, reason=self.admission.shed_reason)
+            return False
+        if self.deadline_s is not None:
+            request.deadline_s = now + self.deadline_s
+        return True
+
+    def _note_trip(self, now: float) -> None:
+        self._seen_trips = self.breaker.trips
+        self.metrics.on_breaker_trip(now)
+
+    # ------------------------------------------------------------------
+    # Deadlines (expiry-on-dequeue)
+    # ------------------------------------------------------------------
+    def expired_pending(self, pending, now: float) -> List[Request]:
+        """Remove and return every expired request from ``pending``.
+
+        Called before each major reschedule so schedulers never plan
+        work that could not be delivered in time anyway.
+        """
+        if self.deadline_s is None:
+            return []
+        expired = [
+            request for request in pending.snapshot() if request.is_expired(now)
+        ]
+        if expired:
+            pending.remove_many(expired)
+        return expired
+
+    def split_expired(
+        self, requests: List[Request], now: float
+    ) -> Tuple[List[Request], List[Request]]:
+        """Partition a service entry's requests into (live, expired)."""
+        if self.deadline_s is None:
+            return list(requests), []
+        live: List[Request] = []
+        expired: List[Request] = []
+        for request in requests:
+            if request.is_expired(now):
+                expired.append(request)
+            else:
+                live.append(request)
+        return live, expired
+
+    # ------------------------------------------------------------------
+    # Progress / fault signals (watchdog + breaker)
+    # ------------------------------------------------------------------
+    def on_progress(self, pending_len: int) -> None:
+        """A sweep completed: feed the watchdog, maybe close the breaker."""
+        if self.breaker is not None:
+            self.breaker.note_progress(self.env.now, pending_len)
+
+    def on_fault(self) -> None:
+        """An injected fault fired: feed storm detection."""
+        if self.breaker is not None and self.breaker.note_fault(self.env.now):
+            self._note_trip(self.env.now)
+
+    # ------------------------------------------------------------------
+    # Starvation guard
+    # ------------------------------------------------------------------
+    def wrap_scheduler(self, scheduler: Scheduler) -> Scheduler:
+        """Wrap ``scheduler`` with the starvation guard when configured."""
+        if self.config.starvation_age_s is None:
+            return scheduler
+        return StarvationGuardScheduler(
+            scheduler,
+            self.config.starvation_age_s,
+            now_fn=lambda: self.env.now,
+            on_promote=self.metrics.on_forced_promotion,
+        )

@@ -74,3 +74,36 @@ def curve_to_csv(label: str, points) -> str:
     out = [",".join(header)]
     out.extend(",".join(row) for row in rows)
     return "\n".join(out) + "\n"
+
+
+_SLO_FIELDS = (
+    ("completed", "completed"),
+    ("p50_response_s", "p50_s"),
+    ("p95_response_s", "p95_s"),
+    ("p99_response_s", "p99_s"),
+    ("max_response_s", "max_s"),
+    ("shed_requests", "shed"),
+    ("expired_requests", "expired"),
+    ("deadline_misses", "deadline_misses"),
+    ("deadline_miss_rate", "miss_rate"),
+    ("forced_promotions", "forced_promotions"),
+    ("breaker_trips", "breaker_trips"),
+    ("saturated", "saturated"),
+)
+
+
+def slo_to_csv(results) -> str:
+    """Flatten SLO accounting to CSV, one row per experiment result.
+
+    ``results`` is an iterable of
+    :class:`~repro.experiments.runner.ExperimentResult`; each row leads
+    with the config's compact annotation (``config.describe()``).
+    """
+    lines = [",".join(["config"] + [name for _attr, name in _SLO_FIELDS])]
+    for result in results:
+        row = [f'"{result.config.describe()}"']
+        row.extend(
+            repr(getattr(result.report, attr)) for attr, _name in _SLO_FIELDS
+        )
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"

@@ -57,6 +57,32 @@ def format_parametric_series(label: str, points) -> str:
     return f"--- {label} ---\n{table}"
 
 
+def format_slo_report(report) -> str:
+    """Render one run's SLO accounting as an aligned two-column table.
+
+    ``report`` is a :class:`~repro.service.metrics.MetricsReport`; the
+    table covers the response-time percentiles plus the overload-control
+    counters (all zero for runs without a QoS layer).
+    """
+    rows = [
+        ("completed", report.completed),
+        ("p50 response (s)", f"{report.p50_response_s:.1f}"),
+        ("p95 response (s)", f"{report.p95_response_s:.1f}"),
+        ("p99 response (s)", f"{report.p99_response_s:.1f}"),
+        ("max response (s)", f"{report.max_response_s:.1f}"),
+        ("shed requests", report.shed_requests),
+        ("expired requests", report.expired_requests),
+        ("deadline misses", report.deadline_misses),
+        ("deadline miss rate", f"{report.deadline_miss_rate:.4f}"),
+        ("forced promotions", report.forced_promotions),
+        ("breaker trips", report.breaker_trips),
+        ("saturated", report.saturated),
+    ]
+    for reason, count in sorted(report.shed_by_reason.items()):
+        rows.append((f"shed[{reason}]", count))
+    return format_table(("slo metric", "value"), rows)
+
+
 def format_figure(figure_data) -> str:
     """Render a whole :class:`FigureData` for terminal output."""
     lines = [

@@ -64,6 +64,43 @@ class FarmReport:
         """The cost-performance numerator of Section 4.8."""
         return self.aggregate_throughput_kb_s / self.size
 
+    # ------------------------------------------------------------------
+    # SLO aggregates (all zero when no jukebox runs with a QoS layer)
+    # ------------------------------------------------------------------
+    @property
+    def total_shed(self) -> int:
+        """Requests shed by admission control across the farm."""
+        return sum(report.shed_requests for report in self.per_jukebox)
+
+    @property
+    def total_expired(self) -> int:
+        """Requests expired (TTL passed) across the farm."""
+        return sum(report.expired_requests for report in self.per_jukebox)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Finished-work-weighted deadline-miss rate across the farm."""
+        finished = sum(
+            report.completed + report.expired_requests
+            for report in self.per_jukebox
+        )
+        if finished == 0:
+            return 0.0
+        misses = sum(report.deadline_misses for report in self.per_jukebox)
+        return misses / finished
+
+    @property
+    def worst_p99_response_s(self) -> float:
+        """Largest per-jukebox p99 response time (the farm's SLO tail)."""
+        return max(
+            (report.p99_response_s for report in self.per_jukebox), default=0.0
+        )
+
+    @property
+    def saturated_count(self) -> int:
+        """Jukeboxes whose measurement window completed nothing."""
+        return sum(1 for report in self.per_jukebox if report.saturated)
+
 
 def run_farm(
     base: "ExperimentConfig",

@@ -54,6 +54,28 @@ class MetricsReport:
     drive_failures: int = 0
     #: Observed mean time to repair a failed drive (0.0 without failures).
     mean_repair_s: float = 0.0
+    #: Median response time (histogram-interpolated, like p95).
+    p50_response_s: float = 0.0
+    #: 99th-percentile response time.
+    p99_response_s: float = 0.0
+    #: Post-warm-up arrivals shed by admission control / degraded mode.
+    shed_requests: int = 0
+    #: Post-warm-up shed counts by reason (queue-full/rate-limit/degraded).
+    shed_by_reason: Mapping[str, int] = field(default_factory=dict)
+    #: Post-warm-up requests that expired (TTL passed before delivery).
+    expired_requests: int = 0
+    #: Post-warm-up deadline misses: expired plus delivered-late requests.
+    deadline_misses: int = 0
+    #: Misses over finished deadline-bearing work (0.0 without deadlines).
+    deadline_miss_rate: float = 0.0
+    #: Requests force-promoted into a sweep by the starvation guard.
+    forced_promotions: int = 0
+    #: Times the QoS circuit breaker tripped into degraded mode.
+    breaker_trips: int = 0
+    #: True when the measurement window saw arrivals but zero
+    #: completions — a saturated (or fully stalled) run whose
+    #: throughput/response fields degrade to 0.0 instead of NaN.
+    saturated: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - human-readable aid
         return (
@@ -93,6 +115,15 @@ class MetricsCollector:
         self.failed_after_warmup = 0
         self.drive_failures = 0
         self.repair_s = 0.0
+        #: QoS counters (all stay zero without a QoS layer attached).
+        self.total_shed = 0
+        self.shed_after_warmup = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        self.total_expired = 0
+        self.expired_after_warmup = 0
+        self.late_completions = 0
+        self.forced_promotions = 0
+        self.breaker_trips = 0
 
     # ------------------------------------------------------------------
     # Event hooks (called by the simulator)
@@ -120,6 +151,8 @@ class MetricsCollector:
             self.response_hist.add(request.response_s)
             if service_s is not None:
                 self.waiting.add(max(0.0, request.response_s - service_s))
+            if request.deadline_s is not None and now > request.deadline_s:
+                self.late_completions += 1
 
     def on_fault(self, kind: str, now: float) -> None:
         """The injector raised a fault of ``kind``."""
@@ -140,6 +173,37 @@ class MetricsCollector:
         self.queue.update(now, self._outstanding)
         if now >= self.warmup_s:
             self.failed_after_warmup += 1
+
+    def on_shed(self, request: Request, now: float, reason: str = "admission") -> None:
+        """Admission control (or degraded mode) turned ``request`` away."""
+        self.total_shed += 1
+        self._outstanding -= 1
+        self.queue.update(now, self._outstanding)
+        if now >= self.warmup_s:
+            self.shed_after_warmup += 1
+            self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+
+    def on_expired(self, request: Request, now: float) -> None:
+        """``request``'s TTL passed before its block could be delivered."""
+        self.total_expired += 1
+        self._outstanding -= 1
+        self.queue.update(now, self._outstanding)
+        if now >= self.warmup_s:
+            self.expired_after_warmup += 1
+
+    def on_forced_promotion(self, count: int, now: float) -> None:
+        """The starvation guard force-promoted ``count`` requests."""
+        if now >= self.warmup_s:
+            self.forced_promotions += count
+
+    def on_breaker_trip(self, now: float) -> None:
+        """The QoS circuit breaker tripped into degraded shed-load mode."""
+        self.breaker_trips += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted but not yet completed, failed, or expired."""
+        return self._outstanding
 
     def on_drive_failure(self, now: float) -> None:
         """A drive hardware failure occurred."""
@@ -186,11 +250,12 @@ class MetricsCollector:
         switches_per_hour = (
             self.tape_switches / (measured_s / 3600.0) if measured_s > 0 else 0.0
         )
-        p95 = (
-            self.response_hist.percentile(0.95)
-            if self.response_hist.count
-            else 0.0
-        )
+        if self.response_hist.count:
+            p50 = self.response_hist.percentile(0.50)
+            p95 = self.response_hist.percentile(0.95)
+            p99 = self.response_hist.percentile(0.99)
+        else:
+            p50 = p95 = p99 = 0.0
         # Every mean below degrades to 0.0 (and served_fraction to 1.0)
         # when its denominator is zero, so a run with no completed
         # requests still yields a finite, NaN-free report.
@@ -200,6 +265,21 @@ class MetricsCollector:
         )
         mean_repair_s = (
             self.repair_s / self.drive_failures if self.drive_failures > 0 else 0.0
+        )
+        # Deadline misses: expired requests never delivered plus requests
+        # delivered after their TTL.  The rate is over finished
+        # deadline-eligible work, NaN-free when nothing finished.
+        deadline_misses = self.expired_after_warmup + self.late_completions
+        deadline_finished = self.completed_after_warmup + self.expired_after_warmup
+        deadline_miss_rate = (
+            deadline_misses / deadline_finished if deadline_finished > 0 else 0.0
+        )
+        # A saturated (or fully stalled) run: work arrived but nothing
+        # completed inside the measurement window.  Every mean above has
+        # already degraded to a finite 0.0; the flag makes the condition
+        # explicit instead of reporting a silently-zero response time.
+        saturated = (
+            measured_s > 0 and self.arrivals > 0 and self.completed_after_warmup == 0
         )
         return MetricsReport(
             measured_s=measured_s,
@@ -225,4 +305,14 @@ class MetricsCollector:
             served_fraction=served_fraction,
             drive_failures=self.drive_failures,
             mean_repair_s=mean_repair_s,
+            p50_response_s=p50,
+            p99_response_s=p99,
+            shed_requests=self.shed_after_warmup,
+            shed_by_reason=dict(self.shed_by_reason),
+            expired_requests=self.expired_after_warmup,
+            deadline_misses=deadline_misses,
+            deadline_miss_rate=deadline_miss_rate,
+            forced_promotions=self.forced_promotions,
+            breaker_trips=self.breaker_trips,
+            saturated=saturated,
         )

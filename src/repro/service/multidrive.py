@@ -35,6 +35,7 @@ from ..faults.injector import FaultInjector
 from ..faults.masking import FaultMaskedCatalog
 from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
+from ..qos.manager import QoSManager
 from ..tape.drive import TapeDrive
 from ..tape.tape import TapePool
 from ..tape.timing import DriveTimingModel, EXB_8505XL
@@ -149,6 +150,7 @@ class MultiDriveSimulator:
         timing: DriveTimingModel = EXB_8505XL,
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        qos: Optional[QoSManager] = None,
     ) -> None:
         if drive_count <= 0:
             raise ValueError(f"drive_count must be positive, got {drive_count!r}")
@@ -159,6 +161,7 @@ class MultiDriveSimulator:
         self.source = source
         self.metrics = metrics
         self.faults = faults
+        self.qos = qos
         if retry is None and faults is not None:
             retry = faults.config.retry
         self.retry = retry
@@ -191,6 +194,8 @@ class MultiDriveSimulator:
                     "the envelope-extension algorithm is single-drive; "
                     "use a static or dynamic scheduler for multi-drive runs"
                 )
+            if qos is not None:
+                scheduler = qos.wrap_scheduler(scheduler)
             drive = TapeDrive(timing=timing)
             view = DriveView(drive=drive, tape_count=tape_count)
             filtered = ClaimFilteredPending(self.pending, self.claims, drive_index)
@@ -215,6 +220,11 @@ class MultiDriveSimulator:
         attempt fails) the request joins the shared pending list.
         """
         self.metrics.on_arrival(request, self.env.now)
+        if self.qos is not None and not self.qos.admit(request, len(self.pending)):
+            # Shed at the boundary: the request never reaches the shared
+            # pending list or any drive's scheduler (and sheds do not
+            # spawn closed-population replacements).
+            return
         for drive_index, context in enumerate(self.contexts):
             if context.service is None or context.mounted_id is None:
                 continue
@@ -245,8 +255,13 @@ class MultiDriveSimulator:
             raise RuntimeError("simulator already started")
         self._started = True
         for request in self.source.initial_requests(self.env.now):
-            self.pending.append(request)
-            self.metrics.on_arrival(request, self.env.now)
+            if self.qos is not None:
+                # Route through admission (no sweeps are in progress yet,
+                # so admitted requests land on the shared pending list).
+                self.submit(request)
+            else:
+                self.pending.append(request)
+                self.metrics.on_arrival(request, self.env.now)
         for drive_index in range(len(self.drives)):
             self.env.process(self._drive_process(drive_index))
         if not self.source.is_closed:
@@ -280,6 +295,11 @@ class MultiDriveSimulator:
                     yield from self._repair_drive(drive_index)
                     continue
                 self._drop_lost_requests()
+
+            # Expiry-on-dequeue: purge requests whose TTL has already
+            # passed so no drive plans undeliverable work.
+            if self.qos is not None and len(self.pending):
+                self._expire_from_pending()
 
             decision = (
                 scheduler.major_reschedule(context) if len(self.pending) else None
@@ -333,6 +353,19 @@ class MultiDriveSimulator:
                     drive_failed = True
                     break
                 entry = service.pop_next()
+                if self.qos is not None:
+                    live, expired = self.qos.split_expired(
+                        entry.requests, self.env.now
+                    )
+                    if expired:
+                        for request in expired:
+                            self._expire_request(request)
+                        if not live:
+                            # Every requester's TTL has passed: skip the
+                            # physical read entirely.
+                            service.finish_in_flight()
+                            continue
+                        entry.requests[:] = live
                 duration = drive.access(entry.position_mb, block_mb)
                 yield self._timed(duration)
                 fault = (
@@ -349,6 +382,8 @@ class MultiDriveSimulator:
 
             context.service = None
             scheduler.on_sweep_complete(context)
+            if self.qos is not None:
+                self.qos.on_progress(len(self.pending))
             if drive_failed:
                 yield from self._repair_drive(drive_index)
 
@@ -381,6 +416,8 @@ class MultiDriveSimulator:
                     return True
                 # The failed pick wastes one arm motion with the arm held.
                 self.metrics.on_fault(fault.kind, self.env.now)
+                if self.qos is not None:
+                    self.qos.on_fault()
                 yield self._timed(self.robot_swap_s)
             finally:
                 self.robot.release()
@@ -412,6 +449,8 @@ class MultiDriveSimulator:
         attempts = 1
         while True:
             self.metrics.on_fault(fault.kind, self.env.now)
+            if self.qos is not None:
+                self.qos.on_fault()
             if not (
                 fault.transient
                 and self.retry is not None
@@ -452,6 +491,19 @@ class MultiDriveSimulator:
             if replacement is not None:
                 self.submit(replacement)
 
+    def _expire_request(self, request: Request) -> None:
+        """Expire ``request`` (keeps a closed population going)."""
+        self.metrics.on_expired(request, self.env.now)
+        if self.source.is_closed:
+            replacement = self.source.on_completion(self.env.now)
+            if replacement is not None:
+                self.submit(replacement)
+
+    def _expire_from_pending(self) -> None:
+        """Remove and expire pending requests whose TTL has passed."""
+        for request in self.qos.expired_pending(self.pending, self.env.now):
+            self._expire_request(request)
+
     def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
         """Return un-read sweep entries to the shared pending list."""
         for entry in entries:
@@ -477,6 +529,8 @@ class MultiDriveSimulator:
         failure_start = self.env.now
         self.metrics.on_drive_failure(failure_start)
         self.metrics.on_fault("drive-failure", failure_start)
+        if self.qos is not None:
+            self.qos.on_fault()
         repair_s = self.faults.begin_repair(drive_index, failure_start)
         self.metrics.on_drive_repair(failure_start, repair_s)
         mounted = drive.mounted_id

@@ -37,6 +37,7 @@ from ..faults.injector import FaultInjector
 from ..faults.masking import FaultMaskedCatalog
 from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
+from ..qos.manager import QoSManager
 from ..tape.jukebox import Jukebox
 from ..workload.requests import Request
 from .metrics import MetricsCollector, MetricsReport
@@ -57,9 +58,15 @@ class JukeboxSimulator:
         oplog: Optional[OperationLog] = None,
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        qos: Optional[QoSManager] = None,
     ) -> None:
         self.env = env
         self.jukebox = jukebox
+        self.qos = qos
+        if qos is not None:
+            # Starvation guard (when configured) intercepts only the
+            # major reschedule; every other scheduler call delegates.
+            scheduler = qos.wrap_scheduler(scheduler)
         self.scheduler = scheduler
         self.source = source
         self.metrics = metrics
@@ -107,6 +114,14 @@ class JukeboxSimulator:
     def submit(self, request: Request) -> None:
         """A request arrives: incremental-schedule it or defer it."""
         self.metrics.on_arrival(request, self.env.now)
+        if self.qos is not None and not self.qos.admit(
+            request, len(self.context.pending)
+        ):
+            # Shed at the boundary: the request never reaches the
+            # pending list or the schedulers.  Shed requests do not
+            # spawn closed-population replacements (re-offering a fresh
+            # request at the same instant would be shed again forever).
+            return
         if self.context.service is not None:
             if self.scheduler.on_arrival(self.context, request):
                 self.absorbed_arrivals += 1
@@ -180,6 +195,13 @@ class JukeboxSimulator:
                 if len(context.pending) == 0:
                     continue
 
+            # Expiry-on-dequeue: purge requests whose TTL has already
+            # passed so the scheduler never plans undeliverable work.
+            if self.qos is not None:
+                self._expire_from_pending()
+                if len(context.pending) == 0:
+                    continue
+
             # Step 1: major reschedule.
             decision = self.scheduler.major_reschedule(context)
             if decision is None:  # pragma: no cover - pending was non-empty
@@ -230,6 +252,19 @@ class JukeboxSimulator:
                     drive_failed = True
                     break
                 entry = service.pop_next()
+                if self.qos is not None:
+                    live, expired = self.qos.split_expired(
+                        entry.requests, self.env.now
+                    )
+                    if expired:
+                        for request in expired:
+                            self._expire_request(request)
+                        if not live:
+                            # Every requester's TTL has passed: skip the
+                            # physical read entirely.
+                            service.finish_in_flight()
+                            continue
+                        entry.requests[:] = live
                 read_start = self.env.now
                 duration = self.jukebox.access(entry.position_mb, block_mb)
                 yield self._timed(duration)
@@ -255,6 +290,8 @@ class JukeboxSimulator:
 
             context.service = None
             self.scheduler.on_sweep_complete(context)
+            if self.qos is not None:
+                self.qos.on_progress(len(context.pending))
             if drive_failed:
                 yield from self._repair_drive()
 
@@ -279,6 +316,8 @@ class JukeboxSimulator:
         attempts = 1
         while True:
             self.metrics.on_fault(fault.kind, self.env.now)
+            if self.qos is not None:
+                self.qos.on_fault()
             self._log(
                 OpKind.FAULT,
                 self.env.now,
@@ -345,6 +384,21 @@ class JukeboxSimulator:
             if replacement is not None:
                 self.submit(replacement)
 
+    def _expire_request(self, request: Request) -> None:
+        """Expire ``request`` (keeps a closed population going)."""
+        self.metrics.on_expired(request, self.env.now)
+        if self.source.is_closed:
+            replacement = self.source.on_completion(self.env.now)
+            if replacement is not None:
+                self.submit(replacement)
+
+    def _expire_from_pending(self) -> None:
+        """Remove and expire pending requests whose TTL has passed."""
+        for request in self.qos.expired_pending(
+            self.context.pending, self.env.now
+        ):
+            self._expire_request(request)
+
     def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
         """Return un-read sweep entries to the pending list (no failover)."""
         for entry in entries:
@@ -377,6 +431,8 @@ class JukeboxSimulator:
                 return True
             attempts += 1
             self.metrics.on_fault(fault.kind, self.env.now)
+            if self.qos is not None:
+                self.qos.on_fault()
             # The failed pick still wastes one arm motion.
             wasted_start = self.env.now
             yield self._timed(self.jukebox.timing.robot_swap_s)
@@ -413,6 +469,8 @@ class JukeboxSimulator:
         failure_start = self.env.now
         self.metrics.on_drive_failure(failure_start)
         self.metrics.on_fault("drive-failure", failure_start)
+        if self.qos is not None:
+            self.qos.on_fault()
         repair_s = self.faults.begin_repair(0, failure_start)
         self.metrics.on_drive_repair(failure_start, repair_s)
         self.jukebox.unload_for_repair()

@@ -19,11 +19,18 @@ class Request:
     block_id: int
     arrival_s: float
     completion_s: Optional[float] = None
+    #: Absolute expiry time (arrival + TTL), stamped at admission by the
+    #: QoS layer; ``None`` (the default) means the request never expires.
+    deadline_s: Optional[float] = None
 
     @property
     def is_complete(self) -> bool:
         """True once the block has been delivered."""
         return self.completion_s is not None
+
+    def is_expired(self, now: float) -> bool:
+        """True when a deadline is set and has passed without delivery."""
+        return self.deadline_s is not None and now > self.deadline_s
 
     @property
     def response_s(self) -> float:

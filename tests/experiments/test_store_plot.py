@@ -133,3 +133,30 @@ class TestAsciiPlot:
         plot = plot_throughput_delay(data)
         assert "throughput KB/s" in plot
         assert "mean delay s" in plot
+
+    def test_qos_config_round_trips_through_json(self, tmp_path):
+        from repro.qos import QoSConfig
+
+        qos_result = run_experiment(
+            ExperimentConfig(
+                queue_length=10,
+                horizon_s=8_000.0,
+                tape_count=4,
+                capacity_mb=1000.0,
+                qos=QoSConfig(
+                    deadline_s=1_500.0,
+                    admission="bounded-queue",
+                    max_pending=8,
+                    starvation_age_s=4_000.0,
+                    watchdog_stall_s=6_000.0,
+                ),
+            )
+        )
+        path = tmp_path / "qos.json"
+        save_results([qos_result], path)
+        restored = load_results(path)[0]
+        assert restored.config == qos_result.config
+        assert isinstance(restored.config.qos, QoSConfig)
+        assert restored.report == qos_result.report
+        # The SLO fields came back through JSON intact.
+        assert restored.report.shed_by_reason == qos_result.report.shed_by_reason

@@ -1,0 +1,81 @@
+"""Unit tests of the admission policies."""
+
+import pytest
+
+from repro.qos import QoSConfig, make_admission
+from repro.qos.admission import (
+    BoundedQueueAdmission,
+    TokenBucketAdmission,
+    UnboundedAdmission,
+)
+
+
+class TestUnbounded:
+    def test_always_admits(self):
+        policy = UnboundedAdmission()
+        assert all(policy.admit(now, pending) for now in (0.0, 1e9) for pending in (0, 10**6))
+
+
+class TestBoundedQueue:
+    def test_sheds_at_cap(self):
+        policy = BoundedQueueAdmission(max_pending=3)
+        assert policy.admit(0.0, 0)
+        assert policy.admit(0.0, 2)
+        assert not policy.admit(0.0, 3)
+        assert not policy.admit(0.0, 10)
+
+    def test_reason_label(self):
+        assert BoundedQueueAdmission(1).shed_reason == "queue-full"
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            BoundedQueueAdmission(0)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        policy = TokenBucketAdmission(rate_per_s=1.0, burst=2)
+        # The full burst is available at t=0...
+        assert policy.admit(0.0, 0)
+        assert policy.admit(0.0, 0)
+        # ...then the bucket is empty until a token accrues.
+        assert not policy.admit(0.5, 0)
+        assert policy.admit(1.6, 0)
+
+    def test_tokens_cap_at_burst(self):
+        policy = TokenBucketAdmission(rate_per_s=10.0, burst=1)
+        # A long quiet period accrues at most `burst` tokens.
+        assert policy.admit(1000.0, 0)
+        assert not policy.admit(1000.0, 0)
+
+    def test_deterministic_under_replay(self):
+        times = [0.0, 0.1, 0.4, 0.4, 2.0, 2.05, 9.0]
+        def run():
+            policy = TokenBucketAdmission(rate_per_s=0.5, burst=2)
+            return [policy.admit(t, 0) for t in times]
+        assert run() == run()
+
+    def test_time_never_runs_backwards(self):
+        policy = TokenBucketAdmission(rate_per_s=1.0, burst=1)
+        assert policy.admit(10.0, 0)
+        # An out-of-order call must not mint tokens from negative elapsed.
+        assert not policy.admit(5.0, 0)
+        assert policy.admit(11.0, 0)
+
+    def test_reason_label(self):
+        assert TokenBucketAdmission(1.0).shed_reason == "rate-limit"
+
+
+class TestFactory:
+    def test_builds_each_policy(self):
+        assert isinstance(make_admission(QoSConfig()), UnboundedAdmission)
+        assert isinstance(
+            make_admission(QoSConfig(admission="bounded-queue", max_pending=4)),
+            BoundedQueueAdmission,
+        )
+        bucket = make_admission(
+            QoSConfig(admission="token-bucket", rate_limit_per_s=2.0, burst=5)
+        )
+        assert isinstance(bucket, TokenBucketAdmission)
+        assert bucket.rate_per_s == 2.0
+        assert bucket.burst == 5

@@ -1,0 +1,66 @@
+"""Unit tests of the watchdog / circuit breaker."""
+
+from repro.qos import CircuitBreaker, QoSConfig
+from repro.qos.breaker import BreakerState
+
+
+def make_breaker(**knobs) -> CircuitBreaker:
+    return CircuitBreaker(QoSConfig(**knobs))
+
+
+class TestStallDetection:
+    def test_trips_after_stall_with_pending_work(self):
+        breaker = make_breaker(watchdog_stall_s=100.0)
+        assert not breaker.evaluate(50.0, pending_len=5)
+        assert breaker.evaluate(101.0, pending_len=5)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_idle_is_not_a_stall(self):
+        breaker = make_breaker(watchdog_stall_s=100.0)
+        # No pending work: a quiet jukebox is idle, not wedged.
+        assert not breaker.evaluate(1e6, pending_len=0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_progress_resets_the_stall_clock(self):
+        breaker = make_breaker(watchdog_stall_s=100.0)
+        breaker.note_progress(90.0, pending_len=3)
+        assert not breaker.evaluate(150.0, pending_len=3)
+        assert breaker.evaluate(191.0, pending_len=3)
+
+
+class TestStormDetection:
+    def test_trips_at_threshold(self):
+        breaker = make_breaker(storm_fault_threshold=3)
+        assert not breaker.note_fault(1.0)
+        assert not breaker.note_fault(2.0)
+        # The tripping fault reports True exactly once.
+        assert breaker.note_fault(3.0)
+        assert not breaker.note_fault(4.0)
+        assert breaker.trips == 1
+
+    def test_progress_resets_the_fault_count(self):
+        breaker = make_breaker(storm_fault_threshold=3)
+        breaker.note_fault(1.0)
+        breaker.note_fault(2.0)
+        breaker.note_progress(3.0, pending_len=0)
+        assert not breaker.note_fault(4.0)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestRecovery:
+    def test_any_progress_closes_without_resume_threshold(self):
+        breaker = make_breaker(watchdog_stall_s=10.0)
+        breaker.evaluate(20.0, pending_len=1)
+        assert breaker.is_open
+        breaker.note_progress(25.0, pending_len=100)
+        assert not breaker.is_open
+
+    def test_resume_pending_gates_the_close(self):
+        breaker = make_breaker(watchdog_stall_s=10.0, resume_pending=2)
+        breaker.evaluate(20.0, pending_len=1)
+        assert breaker.is_open
+        breaker.note_progress(25.0, pending_len=10)
+        assert breaker.is_open  # still too much backlog
+        breaker.note_progress(30.0, pending_len=2)
+        assert not breaker.is_open

@@ -1,0 +1,93 @@
+"""QoSConfig validation, hashability, and cache addressing."""
+
+import pytest
+
+from repro.campaign.hashing import config_digest
+from repro.experiments import ExperimentConfig
+from repro.qos import QoSConfig
+
+
+class TestValidation:
+    def test_default_is_inert(self):
+        config = QoSConfig()
+        assert not config.enabled
+        assert not config.has_breaker
+
+    def test_each_knob_enables(self):
+        assert QoSConfig(deadline_s=10.0).enabled
+        assert QoSConfig(admission="bounded-queue", max_pending=5).enabled
+        assert QoSConfig(admission="token-bucket", rate_limit_per_s=1.0).enabled
+        assert QoSConfig(starvation_age_s=100.0).enabled
+        assert QoSConfig(watchdog_stall_s=100.0).enabled
+        assert QoSConfig(storm_fault_threshold=3).enabled
+
+    def test_unknown_admission_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            QoSConfig(admission="lifo")
+
+    def test_bounded_queue_requires_max_pending(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            QoSConfig(admission="bounded-queue")
+        with pytest.raises(ValueError, match="max_pending"):
+            QoSConfig(admission="bounded-queue", max_pending=0)
+
+    def test_max_pending_only_with_bounded_queue(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            QoSConfig(max_pending=5)
+
+    def test_token_bucket_requires_rate(self):
+        with pytest.raises(ValueError, match="rate_limit_per_s"):
+            QoSConfig(admission="token-bucket")
+        with pytest.raises(ValueError, match="rate_limit_per_s"):
+            QoSConfig(admission="token-bucket", rate_limit_per_s=0.0)
+
+    def test_rate_only_with_token_bucket(self):
+        with pytest.raises(ValueError, match="rate_limit_per_s"):
+            QoSConfig(rate_limit_per_s=1.0)
+
+    @pytest.mark.parametrize(
+        "name", ["deadline_s", "starvation_age_s", "watchdog_stall_s"]
+    )
+    def test_durations_must_be_positive(self, name):
+        with pytest.raises(ValueError, match=name):
+            QoSConfig(**{name: 0.0})
+        with pytest.raises(ValueError, match=name):
+            QoSConfig(**{name: -1.0})
+
+    def test_resume_pending_requires_breaker(self):
+        with pytest.raises(ValueError, match="resume_pending"):
+            QoSConfig(resume_pending=5)
+        # Fine once some breaker condition exists.
+        QoSConfig(watchdog_stall_s=100.0, resume_pending=5)
+
+    def test_storm_threshold_must_be_at_least_one(self):
+        with pytest.raises(ValueError, match="storm_fault_threshold"):
+            QoSConfig(storm_fault_threshold=0)
+
+
+class TestHashability:
+    def test_hashable_and_equal(self):
+        a = QoSConfig(deadline_s=100.0, admission="bounded-queue", max_pending=9)
+        b = QoSConfig(deadline_s=100.0, admission="bounded-queue", max_pending=9)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_experiment_config_with_qos_still_hashable(self):
+        config = ExperimentConfig(qos=QoSConfig(deadline_s=50.0))
+        assert isinstance(hash(config), int)
+
+
+class TestCacheAddressing:
+    def test_qos_is_part_of_the_address(self):
+        base = ExperimentConfig()
+        with_qos = base.with_(qos=QoSConfig(deadline_s=500.0))
+        assert config_digest(base) != config_digest(with_qos)
+        # Different knob values get different addresses too.
+        other = base.with_(qos=QoSConfig(deadline_s=600.0))
+        assert config_digest(with_qos) != config_digest(other)
+
+    def test_equal_qos_equal_digest(self):
+        a = ExperimentConfig(qos=QoSConfig(starvation_age_s=900.0))
+        b = ExperimentConfig(qos=QoSConfig(starvation_age_s=900.0))
+        assert config_digest(a) == config_digest(b)

@@ -1,0 +1,174 @@
+"""Request conservation: every arrival reaches exactly one terminal state.
+
+The property: over any run, each request that entered the system is
+completed, permanently failed, expired, or shed at most once — never
+twice, never in two different ways — and whatever remains outstanding at
+the horizon accounts exactly for the difference.  Holds across scheduler
+families, with and without fault injection, and with and without QoS.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments import ExperimentConfig
+from repro.faults import FaultConfig, RetryPolicy
+from repro.layout import Layout
+from repro.qos import QoSConfig
+from repro.service.metrics import MetricsCollector
+
+HORIZON = 40_000.0
+
+FAULTS = FaultConfig(
+    media_error_rate=0.08,
+    bad_replica_rate=0.02,
+    robot_pick_error_rate=0.02,
+    drive_mtbf_s=15_000.0,
+    drive_mttr_s=1_000.0,
+    retry=RetryPolicy(max_attempts=3, base_backoff_s=1.0),
+)
+
+QOS = QoSConfig(
+    deadline_s=2_500.0,
+    admission="bounded-queue",
+    max_pending=20,
+    starvation_age_s=5_000.0,
+    watchdog_stall_s=8_000.0,
+    storm_fault_threshold=10,
+)
+
+
+class RecordingCollector(MetricsCollector):
+    """Tracks per-request-id terminal events for the conservation check."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen_arrivals = set()
+        self.terminal = {}  # request_id -> terminal kind
+
+    def _arrive(self, request):
+        assert request.request_id not in self.seen_arrivals, (
+            f"request {request.request_id} arrived twice"
+        )
+        self.seen_arrivals.add(request.request_id)
+
+    def _terminate(self, request, kind):
+        assert request.request_id in self.seen_arrivals, (
+            f"request {request.request_id} reached {kind} without arriving"
+        )
+        previous = self.terminal.setdefault(request.request_id, kind)
+        assert previous == kind and self.terminal[request.request_id] == kind, (
+            f"request {request.request_id}: {kind} after {previous}"
+        )
+        assert list(self.terminal).count(request.request_id) == 1
+
+    def on_arrival(self, request, now):
+        self._arrive(request)
+        super().on_arrival(request, now)
+
+    def on_completion(self, request, now, service_s=None):
+        assert request.request_id not in self.terminal, (
+            f"request {request.request_id} terminated twice "
+            f"(completion after {self.terminal.get(request.request_id)})"
+        )
+        self._terminate(request, "completed")
+        super().on_completion(request, now, service_s=service_s)
+
+    def on_request_failed(self, request, now):
+        assert request.request_id not in self.terminal
+        self._terminate(request, "failed")
+        super().on_request_failed(request, now)
+
+    def on_expired(self, request, now):
+        assert request.request_id not in self.terminal
+        self._terminate(request, "expired")
+        super().on_expired(request, now)
+
+    def on_shed(self, request, now, reason="admission"):
+        assert request.request_id not in self.terminal
+        self._terminate(request, "shed")
+        super().on_shed(request, now, reason=reason)
+
+
+def run_with_recording(config: ExperimentConfig) -> RecordingCollector:
+    # Swap the collector class for the build so every consumer (the
+    # simulator, the QoS manager, the starvation guard's promotion
+    # callback) is bound to the recording instance from the start.
+    original = runner_mod.MetricsCollector
+    runner_mod.MetricsCollector = RecordingCollector
+    try:
+        simulator = runner_mod.build_simulator(config)
+    finally:
+        runner_mod.MetricsCollector = original
+    simulator.run(config.horizon_s)
+    return simulator.metrics
+
+
+SCHEDULERS = [
+    "fifo",
+    "static-max-requests",
+    "dynamic-max-bandwidth",
+    "envelope-max-bandwidth",
+]
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize(
+    "faults,qos",
+    [(None, None), (None, QOS), (FAULTS, None), (FAULTS, QOS)],
+    ids=["plain", "qos", "faults", "faults+qos"],
+)
+def test_every_arrival_terminates_exactly_once(scheduler, faults, qos):
+    config = ExperimentConfig(
+        scheduler=scheduler,
+        tape_count=4,
+        capacity_mb=1000.0,
+        replicas=2,
+        layout=Layout.VERTICAL,
+        horizon_s=HORIZON,
+        queue_length=15,
+        seed=9,
+        warmup_fraction=0.0,
+        faults=faults,
+        qos=qos,
+    )
+    metrics = run_with_recording(config)
+    terminals = len(metrics.terminal)
+    # No request terminated without arriving, none terminated twice
+    # (asserted inline), and the books balance at the horizon:
+    assert set(metrics.terminal) <= metrics.seen_arrivals
+    assert metrics.arrivals == len(metrics.seen_arrivals)
+    assert terminals == (
+        metrics.total_completed
+        + metrics.total_failed
+        + metrics.total_expired
+        + metrics.total_shed
+    )
+    assert metrics.outstanding == metrics.arrivals - terminals
+    assert metrics.outstanding >= 0
+    # The scenario actually exercised something.
+    assert metrics.total_completed > 0
+
+
+@pytest.mark.parametrize(
+    "qos", [None, QOS], ids=["plain", "qos"]
+)
+def test_conservation_holds_multidrive(qos):
+    config = ExperimentConfig(
+        scheduler="dynamic-max-bandwidth",
+        drive_count=2,
+        tape_count=4,
+        capacity_mb=1000.0,
+        replicas=1,
+        layout=Layout.VERTICAL,
+        horizon_s=HORIZON,
+        queue_length=15,
+        seed=9,
+        warmup_fraction=0.0,
+        faults=FAULTS,
+        qos=qos,
+    )
+    metrics = run_with_recording(config)
+    terminals = len(metrics.terminal)
+    assert set(metrics.terminal) <= metrics.seen_arrivals
+    assert metrics.outstanding == metrics.arrivals - terminals
+    assert metrics.total_completed > 0

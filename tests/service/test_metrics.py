@@ -197,3 +197,118 @@ class TestDegradedReports:
         metrics.on_request_failed(late, 60.0)
         metrics.finalize(100.0)
         assert metrics.report().failed_requests == 1
+
+
+class TestSaturationGuard:
+    """Zero completions after warm-up must yield a finite, flagged report."""
+
+    def test_arrivals_but_no_completions_is_saturated(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=10.0)
+        for index in range(5):
+            metrics.on_arrival(make_request(request_id=index), 0.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.saturated
+        assert report.completed == 0
+        # Every derived figure is finite (0.0), never NaN or a crash.
+        for value in (
+            report.throughput_kb_s, report.requests_per_min,
+            report.mean_response_s, report.p50_response_s,
+            report.p95_response_s, report.p99_response_s,
+            report.mean_queue_length, report.deadline_miss_rate,
+        ):
+            assert value == value  # not NaN
+            assert value >= 0.0
+
+    def test_warmup_only_completions_still_saturated(self):
+        # Work completed, but all of it inside the warm-up window.
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=50.0)
+        request = make_request()
+        metrics.on_arrival(request, 0.0)
+        metrics.on_completion(request, 10.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.saturated
+        assert report.completed == 0
+        assert report.total_completed == 1
+
+    def test_empty_run_is_not_saturated(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        metrics.finalize(100.0)
+        assert not metrics.report().saturated
+
+    def test_healthy_run_is_not_saturated(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        request = make_request()
+        metrics.on_arrival(request, 0.0)
+        metrics.on_completion(request, 10.0)
+        metrics.finalize(100.0)
+        assert not metrics.report().saturated
+
+    def test_degenerate_window_is_not_saturated(self):
+        # Horizon entirely inside warm-up: measured_s == 0, nothing to flag.
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=100.0)
+        metrics.on_arrival(make_request(), 0.0)
+        metrics.finalize(50.0)
+        report = metrics.report()
+        assert not report.saturated
+        assert report.measured_s == 0.0
+
+
+class TestQoSHooks:
+    def test_shed_and_expired_accumulate_with_reasons(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=10.0)
+        requests = [make_request(request_id=index) for index in range(4)]
+        for request in requests:
+            metrics.on_arrival(request, 20.0)
+        metrics.on_shed(requests[0], 20.0, reason="queue-full")
+        metrics.on_shed(requests[1], 21.0, reason="degraded")
+        metrics.on_expired(requests[2], 25.0)
+        metrics.on_forced_promotion(3, 30.0)
+        metrics.on_breaker_trip(31.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.shed_requests == 2
+        assert report.shed_by_reason == {"queue-full": 1, "degraded": 1}
+        assert report.expired_requests == 1
+        assert report.forced_promotions == 3
+        assert report.breaker_trips == 1
+        assert metrics.outstanding == 1  # requests[3] still in flight
+
+    def test_shed_inside_warmup_not_reported(self):
+        metrics = MetricsCollector(block_mb=16.0, warmup_s=50.0)
+        request = make_request()
+        metrics.on_arrival(request, 0.0)
+        metrics.on_shed(request, 1.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.shed_requests == 0
+        assert metrics.total_shed == 1
+
+    def test_late_completion_counts_as_deadline_miss(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        on_time = make_request(request_id=0)
+        on_time.deadline_s = 50.0
+        late = make_request(request_id=1)
+        late.deadline_s = 5.0
+        for request in (on_time, late):
+            metrics.on_arrival(request, 0.0)
+        metrics.on_completion(on_time, 40.0)
+        metrics.on_completion(late, 40.0)
+        metrics.finalize(100.0)
+        report = metrics.report()
+        assert report.deadline_misses == 1
+        assert report.deadline_miss_rate == pytest.approx(0.5)
+
+    def test_percentiles_ordered(self):
+        metrics = MetricsCollector(block_mb=16.0)
+        requests = [make_request(request_id=index) for index in range(100)]
+        for request in requests:  # arrivals first (time-ordered hooks)
+            metrics.on_arrival(request, 0.0)
+        for index, request in enumerate(requests):
+            metrics.on_completion(request, float(index + 1))
+        metrics.finalize(200.0)
+        report = metrics.report()
+        assert 0.0 < report.p50_response_s <= report.p95_response_s
+        assert report.p95_response_s <= report.p99_response_s
+        assert report.p99_response_s <= report.max_response_s

@@ -103,3 +103,63 @@ class TestApiDocGenerator:
 
         assert gen_api_docs.first_line(documented) == "One line."
         assert gen_api_docs.first_line(type("X", (), {})()) != ""
+
+
+class TestQosCommand:
+    QOS_BASE = [
+        "qos", "--tapes", "4", "--queue", "10", "--horizon", "20000",
+        "--seed", "5",
+    ]
+
+    def test_run_prints_slo_table(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            self.QOS_BASE
+            + [
+                "--deadline", "1500",
+                "--admission", "bounded-queue",
+                "--max-pending", "8",
+                "--starvation-age", "4000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slo metric" in out
+        assert "deadline miss rate" in out
+        assert "expired requests" in out
+
+    def test_csv_output(self, capsys):
+        from repro.cli import main
+
+        assert main(self.QOS_BASE + ["--deadline", "1500", "--csv"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("config,completed,p50_s")
+        assert len(lines) == 2
+
+    def test_invalid_combination_raises(self):
+        from repro.cli import main
+
+        # max-pending without bounded-queue is a QoSConfig validation error.
+        with pytest.raises(ValueError, match="max_pending"):
+            main(self.QOS_BASE + ["--max-pending", "8"])
+
+    def test_inert_qos_run_is_fine(self, capsys):
+        from repro.cli import main
+
+        assert main(self.QOS_BASE) == 0
+        out = capsys.readouterr().out
+        assert "saturated" in out
+
+
+class TestPointTimeoutFlag:
+    def test_run_accepts_point_timeout(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "run", "--tapes", "4", "--queue", "5", "--horizon", "5000",
+                "--point-timeout", "300",
+            ]
+        ) == 0
+        assert "throughput" in capsys.readouterr().out
