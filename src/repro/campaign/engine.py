@@ -17,6 +17,8 @@ points are re-run serially in-process, each under its own try/except.
 from __future__ import annotations
 
 import contextlib
+import cProfile
+import os
 import signal
 import threading
 import time
@@ -30,7 +32,7 @@ from ..experiments.config import ExperimentConfig
 from ..experiments.runner import ExperimentResult, run_experiment
 from ..rng import derive_seed
 from .cache import ResultCache
-from .hashing import CODE_VERSION
+from .hashing import CODE_VERSION, config_digest
 from .progress import ProgressCallback, ProgressEvent
 
 __all__ = [
@@ -177,13 +179,27 @@ class CampaignResult:
 
 
 def _execute_point(
-    item: Tuple[int, ExperimentConfig, Callable, Optional[float]]
+    item: Tuple[int, ExperimentConfig, Callable, Optional[float], Optional[str]]
 ) -> tuple:
-    """Run one point; never raises (errors are shipped back as data)."""
-    index, config, runner, timeout_s = item
+    """Run one point; never raises (errors are shipped back as data).
+
+    When ``profile_dir`` is set the point runs under :mod:`cProfile`
+    and its raw stats are dumped to ``<config_digest[:16]>.prof`` in
+    that directory (the dump happens in the worker process, so profiles
+    work with ``jobs > 1``).  Cache hits never reach this function, so
+    every ``.prof`` reflects an actual execution.
+    """
+    index, config, runner, timeout_s, profile_dir = item
     try:
         with _wall_clock_limit(timeout_s):
-            return (index, "ok", runner(config))
+            if profile_dir is None:
+                return (index, "ok", runner(config))
+            profiler = cProfile.Profile()
+            result = profiler.runcall(runner, config)
+        profiler.dump_stats(
+            os.path.join(profile_dir, f"{config_digest(config)[:16]}.prof")
+        )
+        return (index, "ok", result)
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         return (
             index,
@@ -210,6 +226,10 @@ class Campaign:
             ``PointTimeoutError``) instead of hanging the batch, and —
             like every failure — is never written to the cache.
             ``None`` (the default) leaves points unbounded.
+        profile_dir: when set, every *executed* point (cache hits are
+            exempt) runs under :mod:`cProfile` and dumps its raw stats
+            to ``<profile_dir>/<config_digest[:16]>.prof``.  The
+            directory is created on construction.
     """
 
     def __init__(
@@ -220,6 +240,7 @@ class Campaign:
         runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
         salt: str = CODE_VERSION,
         point_timeout_s: Optional[float] = None,
+        profile_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -229,6 +250,9 @@ class Campaign:
             )
         self.jobs = jobs
         self.point_timeout_s = point_timeout_s
+        self.profile_dir = profile_dir
+        if profile_dir is not None:
+            os.makedirs(profile_dir, exist_ok=True)
         self.cache = ResultCache(cache_dir, salt=salt) if cache_dir else None
         self.progress = progress
         self.runner = runner
@@ -311,7 +335,7 @@ class Campaign:
     # ------------------------------------------------------------------
     def _run_one(self, config, outcomes, failures, record) -> None:
         _index, status, payload = _execute_point(
-            (0, config, self.runner, self.point_timeout_s)
+            (0, config, self.runner, self.point_timeout_s, self.profile_dir)
         )
         self._absorb(config, status, payload, outcomes, failures, record)
 
@@ -334,7 +358,13 @@ class Campaign:
                 futures = {
                     pool.submit(
                         _execute_point,
-                        (index, config, self.runner, self.point_timeout_s),
+                        (
+                            index,
+                            config,
+                            self.runner,
+                            self.point_timeout_s,
+                            self.profile_dir,
+                        ),
                     ): index
                     for index, config in enumerate(pending)
                 }

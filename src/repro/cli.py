@@ -56,6 +56,15 @@ def _campaign_parent() -> argparse.ArgumentParser:
         help="wall-clock budget per executed point (s); a point that "
         "exceeds it becomes an error record instead of hanging the batch",
     )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="profile with cProfile: `run` prints the top cumulative "
+        "functions; campaign points dump per-point .prof files",
+    )
+    group.add_argument(
+        "--profile-dir", default="profiles", metavar="DIR",
+        help="directory for per-point .prof dumps (default: ./profiles)",
+    )
     return parent
 
 
@@ -71,6 +80,7 @@ def _campaign_from_args(args: argparse.Namespace):
         cache_dir=cache_dir,
         progress=ProgressPrinter() if args.progress else None,
         point_timeout_s=args.point_timeout,
+        profile_dir=args.profile_dir if args.profile else None,
     )
 
 
@@ -451,6 +461,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(config.describe())
         print(report)
         print(log.format(limit=args.trace))
+        return 0
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        from .campaign.hashing import config_digest
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(run_experiment, config)
+        print(result.config.describe())
+        print(result.report)
+        os.makedirs(args.profile_dir, exist_ok=True)
+        prof_path = os.path.join(
+            args.profile_dir, f"{config_digest(config)[:16]}.prof"
+        )
+        profiler.dump_stats(prof_path)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"profile written to {prof_path}", file=sys.stderr)
         return 0
 
     campaign = _campaign_from_args(args)

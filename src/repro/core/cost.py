@@ -48,27 +48,40 @@ def sweep_cost(
     would still pay the forward startup.  Returns the time split and the
     final head position (end of the last block read).
     """
-    forward = sorted(position for position in positions if position >= head_mb)
-    reverse = sorted(
-        (position for position in positions if position < head_mb), reverse=True
-    )
+    forward: List[float] = []
+    reverse: List[float] = []
+    for position in positions:
+        if position >= head_mb:
+            forward.append(position)
+        else:
+            reverse.append(position)
+    forward.sort()
+    reverse.sort(reverse=True)
+    # The block size is fixed for the whole sweep, so only two read
+    # costs ever occur; computing them once keeps the loop allocation-
+    # and call-free without changing any float (same expression as
+    # ``timing.read``).
+    locate_forward = timing.locate_forward
+    locate_reverse = timing.locate_reverse
+    read_plain_s = timing.read(block_mb, startup=False)
+    read_startup_s = timing.read(block_mb, startup=True)
     locate_s = 0.0
     read_s = 0.0
     head = head_mb
     for position in forward:
         distance = position - head
         if distance > 0:
-            locate_s += timing.locate_forward(distance)
+            locate_s += locate_forward(distance)
             startup_pending = True
-        read_s += timing.read(block_mb, startup=startup_pending)
+        read_s += read_startup_s if startup_pending else read_plain_s
         startup_pending = False
         head = position + block_mb
     for position in reverse:
         distance = head - position
         if distance > 0:
-            locate_s += timing.locate_reverse(distance, lands_on_bot=(position == 0))
+            locate_s += locate_reverse(distance, lands_on_bot=(position == 0))
             startup_pending = False
-        read_s += timing.read(block_mb, startup=startup_pending)
+        read_s += read_startup_s if startup_pending else read_plain_s
         startup_pending = False
         head = position + block_mb
     return SweepCost(locate_s=locate_s, read_s=read_s, end_head_mb=head)
@@ -141,6 +154,13 @@ class ExtensionCostTracker:
         self._head = envelope_mb
         self._startup_pending = True
         self._count = 0
+        # Fixed block size means only two possible read costs; hoisting
+        # them (and the locate methods) out of ``extend`` keeps the
+        # envelope inner loop call-free with bit-identical floats.
+        self._read_plain_s = timing.read(block_mb, startup=False)
+        self._read_startup_s = timing.read(block_mb, startup=True)
+        self._locate_forward = timing.locate_forward
+        self._locate_reverse = timing.locate_reverse
 
     @property
     def count(self) -> int:
@@ -159,9 +179,11 @@ class ExtensionCostTracker:
             )
         distance = position_mb - self._head
         if distance > 0:
-            self._outbound_s += self._timing.locate_forward(distance)
+            self._outbound_s += self._locate_forward(distance)
             self._startup_pending = True
-        self._outbound_s += self._timing.read(self._block_mb, startup=self._startup_pending)
+        self._outbound_s += (
+            self._read_startup_s if self._startup_pending else self._read_plain_s
+        )
         self._startup_pending = False
         self._head = position_mb + self._block_mb
         self._count += 1
@@ -171,7 +193,7 @@ class ExtensionCostTracker:
         """Cost of the current prefix (outbound + return leg + switch)."""
         if self._count == 0:
             return self._switch_s
-        return_s = self._timing.locate_reverse(
+        return_s = self._locate_reverse(
             self._head - self._envelope_mb,
             lands_on_bot=(self._envelope_mb == 0),
         )

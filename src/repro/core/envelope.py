@@ -23,8 +23,10 @@ into the dynamic max-bandwidth algorithm" without replicas.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..layout.catalog import BlockCatalog, Replica
 from ..tape.timing import DriveTimingModel
@@ -33,6 +35,20 @@ from .base import MajorDecision, Scheduler, SchedulerContext, coalesce_entries
 from .cost import ExtensionCostTracker
 from .policies import SelectionContext, TapeSelectionPolicy, jukebox_order
 from .sweep import ServiceEntry
+
+
+@lru_cache(maxsize=256)
+def _rank_after(tape_count: int, start_at: int) -> Dict[int, int]:
+    """``tape_id -> rank`` in jukebox order starting at ``start_at``.
+
+    Ranks depend only on ``(tape_count, start_at)``, so the dicts are
+    shared across computers and calls.  Callers must treat the returned
+    dict as read-only.
+    """
+    return {
+        tape_id: rank
+        for rank, tape_id in enumerate(jukebox_order(tape_count, start_at))
+    }
 
 
 @dataclass
@@ -83,10 +99,7 @@ class EnvelopeComputer:
     # -- helpers --------------------------------------------------------
     def _rank_after_mounted(self) -> Dict[int, int]:
         anchor = self._mounted_id if self._mounted_id is not None else -1
-        return {
-            tape_id: rank
-            for rank, tape_id in enumerate(jukebox_order(self._tape_count, anchor + 1))
-        }
+        return _rank_after(self._tape_count, anchor + 1)
 
     def _inside(self, replica: Replica, state: EnvelopeState) -> bool:
         return replica.position_mb + self._block_mb <= state.envelope.get(
@@ -110,9 +123,41 @@ class EnvelopeComputer:
         )
 
     # -- the algorithm ---------------------------------------------------
-    def compute(self, requests: List[Request]) -> EnvelopeState:
-        """Compute the upper envelope covering all ``requests``."""
+    def compute(self, requests: Sequence[Request]) -> EnvelopeState:
+        """Compute the upper envelope covering all ``requests``.
+
+        ``requests`` is not copied: the single defensive copy in the
+        scheduling path is the caller's ``pending.snapshot()`` (or an
+        equivalent list the caller owns).  Pass a sequence that will not
+        be mutated while this call runs — do **not** wrap the argument
+        in another ``list(...)``.
+
+        Replica lookups are resolved against the catalog once, up
+        front; the catalog cannot change during this synchronous call,
+        so the cached answers are exactly what per-step queries would
+        have returned.
+        """
         self._request_index = {request.request_id: request for request in requests}
+        # Per-compute replica cache and per-tape candidate rows, sorted
+        # once by (position, request_id) — the same key every extension
+        # used to re-sort by.
+        catalog = self._catalog
+        replicas_of: Dict[int, Tuple[Replica, ...]] = {}
+        by_tape: Dict[int, List[Tuple[float, int, Request]]] = {}
+        for request in requests:
+            block_id = request.block_id
+            replicas = replicas_of.get(block_id)
+            if replicas is None:
+                replicas = replicas_of[block_id] = catalog.replicas_of(block_id)
+            for replica in replicas:
+                by_tape.setdefault(replica.tape_id, []).append(
+                    (replica.position_mb, request.request_id, request)
+                )
+        for rows in by_tape.values():
+            rows.sort(key=lambda row: (row[0], row[1]))
+        self._replicas_of = replicas_of
+        self._by_tape = by_tape
+
         state = EnvelopeState(
             envelope={tape_id: 0.0 for tape_id in range(self._tape_count)}
         )
@@ -122,7 +167,7 @@ class EnvelopeComputer:
         # Step 1: pin the envelope with the highest non-replicated request
         # per tape, and with the current head on the mounted tape.
         for request in requests:
-            replicas = self._catalog.replicas_of(request.block_id)
+            replicas = replicas_of[request.block_id]
             if len(replicas) == 1:
                 replica = replicas[0]
                 end = replica.position_mb + block_mb
@@ -133,12 +178,25 @@ class EnvelopeComputer:
                 state.envelope[self._mounted_id], self._head_mb
             )
 
-        # Step 2: absorb everything already inside the envelope.
+        # Step 2: absorb everything already inside the envelope.  With a
+        # single copy the tie-break trivially returns it, so the common
+        # unreplicated case skips the candidate list entirely.
+        envelope = state.envelope
         unscheduled: List[Request] = []
         for request in requests:
+            replicas = replicas_of[request.block_id]
+            if len(replicas) == 1:
+                replica = replicas[0]
+                if replica.position_mb + block_mb <= envelope.get(
+                    replica.tape_id, 0.0
+                ):
+                    state.assign(request, replica)
+                else:
+                    unscheduled.append(request)
+                continue
             candidates = [
                 replica
-                for replica in self._catalog.replicas_of(request.block_id)
+                for replica in replicas
                 if self._inside(replica, state)
             ]
             if candidates:
@@ -154,9 +212,19 @@ class EnvelopeComputer:
             # extension; absorbing them costs no extra traversal.
             still_outside: List[Request] = []
             for request in unscheduled:
+                replicas = self._replicas_of[request.block_id]
+                if len(replicas) == 1:
+                    replica = replicas[0]
+                    if replica.position_mb + block_mb <= envelope.get(
+                        replica.tape_id, 0.0
+                    ):
+                        state.assign(request, replica)
+                    else:
+                        still_outside.append(request)
+                    continue
                 candidates = [
                     replica
-                    for replica in self._catalog.replicas_of(request.block_id)
+                    for replica in replicas
                     if self._inside(replica, state)
                 ]
                 if candidates:
@@ -204,18 +272,25 @@ class EnvelopeComputer:
         """Step 3: the (tape, prefix) with maximal incremental bandwidth."""
         best_key: Optional[Tuple[float, int, int]] = None
         best: Optional[Tuple[int, List[Tuple[float, Request]]]] = None
+        unscheduled_ids = {request.request_id for request in unscheduled}
+        by_tape = self._by_tape
         for tape_id in range(self._tape_count):
+            rows = by_tape.get(tape_id)
+            if not rows:
+                continue
             envelope = state.envelope[tape_id]
-            extension: List[Tuple[float, Request]] = []
-            for request in unscheduled:
-                if not self._catalog.has_replica_on(request.block_id, tape_id):
-                    continue
-                replica = self._catalog.replica_on(request.block_id, tape_id)
-                if replica.position_mb >= envelope:
-                    extension.append((replica.position_mb, request))
+            # Rows are presorted by (position, request_id); skipping the
+            # sub-envelope prefix with bisect and filtering to the still-
+            # unscheduled ids yields exactly the list the per-request
+            # scan-and-sort used to build.
+            start = bisect_left(rows, envelope, key=lambda row: row[0])
+            extension: List[Tuple[float, Request]] = [
+                (position, request)
+                for position, request_id, request in rows[start:]
+                if request_id in unscheduled_ids
+            ]
             if not extension:
                 continue
-            extension.sort(key=lambda pair: (pair[0], pair[1].request_id))
             charge_switch = envelope == 0.0 and tape_id != self._mounted_id
             tracker = ExtensionCostTracker(
                 self._timing, envelope, self._block_mb, charge_switch
@@ -260,9 +335,13 @@ class EnvelopeComputer:
                 request = self._assigned_request(request_id)
                 if request is None:
                     continue
-                if not self._catalog.has_replica_on(request.block_id, extended_tape):
+                other = None
+                for candidate in self._replicas_of[request.block_id]:
+                    if candidate.tape_id == extended_tape:
+                        other = candidate
+                        break
+                if other is None:
                     continue
-                other = self._catalog.replica_on(request.block_id, extended_tape)
                 end = other.position_mb + block_mb
                 if old_envelope < end <= new_envelope:
                     candidates.append(
@@ -293,7 +372,10 @@ class EnvelopeComputer:
         state.envelope[tape_id] = highest
 
     # ------------------------------------------------------------------
+    # Per-compute working state (set at the top of ``compute``).
     _request_index: Dict[int, Request] = {}
+    _replicas_of: Dict[int, Tuple[Replica, ...]] = {}
+    _by_tape: Dict[int, List[Tuple[float, int, Request]]] = {}
 
     def _assigned_request(self, request_id: int) -> Optional[Request]:
         """Resolve a request id back to its object (set by compute())."""
@@ -338,11 +420,16 @@ class EnvelopeScheduler(Scheduler):
         block_mb = context.block_mb
 
         # For each tape: every request satisfiable within the upper
-        # envelope (a superset of the per-tape assignment).
+        # envelope (a superset of the per-tape assignment).  The computer
+        # already resolved every request's replicas against the catalog
+        # during this synchronous call, so its cache answers the same
+        # queries without re-touching the catalog.
+        replicas_cache = computer._replicas_of
+        envelope_map = state.envelope
         satisfiable: Dict[int, List[Request]] = {}
         for request in requests:
-            for replica in context.catalog.replicas_of(request.block_id):
-                if replica.position_mb + block_mb <= state.envelope.get(
+            for replica in replicas_cache[request.block_id]:
+                if replica.position_mb + block_mb <= envelope_map.get(
                     replica.tape_id, 0.0
                 ):
                     satisfiable.setdefault(replica.tape_id, []).append(request)
@@ -354,9 +441,13 @@ class EnvelopeScheduler(Scheduler):
                 if request.block_id in seen:
                     continue
                 seen.add(request.block_id)
-                positions.append(
-                    context.catalog.replica_on(request.block_id, tape_id).position_mb
-                )
+                # A block has at most one copy per tape, so the first
+                # cached replica on ``tape_id`` is the ``replica_on``
+                # answer.
+                for replica in replicas_cache[request.block_id]:
+                    if replica.tape_id == tape_id:
+                        positions.append(replica.position_mb)
+                        break
             return positions
 
         selection = SelectionContext(
@@ -404,12 +495,7 @@ class EnvelopeScheduler(Scheduler):
         best_tape: Optional[int] = None
         best_key: Optional[Tuple[float, int]] = None
         best_replica: Optional[Replica] = None
-        rank = {
-            tape_id: index
-            for index, tape_id in enumerate(
-                jukebox_order(context.tape_count, mounted + 1)
-            )
-        }
+        rank = _rank_after(context.tape_count, mounted + 1)
         for replica in context.catalog.replicas_of(request.block_id):
             tape_envelope = envelope.get(replica.tape_id, 0.0)
             if replica.position_mb + block_mb <= tape_envelope:

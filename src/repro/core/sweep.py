@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..workload.requests import Request
 
@@ -70,6 +70,15 @@ class ServiceList:
         #: Position of the deepest reverse read started.
         self._reverse_bound: Optional[float] = None
         self._reverse_started = False
+        #: block_id -> not-yet-started entries for that block, maintained
+        #: by pop_next/insert.  Schedulers coalesce to one entry per
+        #: block, so buckets almost always hold a single entry; the list
+        #: keeps hand-built schedules with duplicates working.
+        self._by_block: Dict[int, List[ServiceEntry]] = {}
+        for entry in self._forward:
+            self._by_block.setdefault(entry.block_id, []).append(entry)
+        for entry in self._reverse:
+            self._by_block.setdefault(entry.block_id, []).append(entry)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -105,14 +114,24 @@ class ServiceList:
         return [entry.position_mb for entry in self.remaining()]
 
     def find_block(self, block_id: int) -> Optional[ServiceEntry]:
-        """A not-yet-started entry for ``block_id``, or ``None``."""
-        for entry in self._forward:
-            if entry.block_id == block_id:
-                return entry
-        for entry in self._reverse:
-            if entry.block_id == block_id:
-                return entry
-        return None
+        """A not-yet-started entry for ``block_id``, or ``None``.
+
+        With duplicate entries for one block the earliest in execution
+        order wins — the same entry a scan of forward-then-reverse in
+        phase order would have returned.
+        """
+        entries = self._by_block.get(block_id)
+        if not entries:
+            return None
+        if len(entries) == 1:
+            return entries[0]
+        head = self.start_head_mb
+        return min(
+            entries,
+            key=lambda entry: (0.0, entry.position_mb)
+            if entry.position_mb >= head
+            else (1.0, -entry.position_mb),
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -128,6 +147,13 @@ class ServiceList:
             self._reverse_bound = entry.position_mb
         else:
             raise IndexError("pop from an empty service list")
+        bucket = self._by_block[entry.block_id]
+        for index, candidate in enumerate(bucket):
+            if candidate is entry:
+                del bucket[index]
+                break
+        if not bucket:
+            del self._by_block[entry.block_id]
         self._in_flight = entry
         return entry
 
@@ -168,4 +194,5 @@ class ServiceList:
             keys = [-existing.position_mb for existing in self._reverse]
             index = bisect.bisect_left(keys, -entry.position_mb)
             self._reverse.insert(index, entry)
+        self._by_block.setdefault(entry.block_id, []).append(entry)
         return True

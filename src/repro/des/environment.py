@@ -4,11 +4,18 @@ The environment keeps a binary heap of ``(time, priority, sequence, event)``
 tuples.  ``sequence`` is a monotonically increasing tie-breaker, so events
 scheduled for the same instant at the same priority run in FIFO order,
 which makes simulations fully deterministic.
+
+Hot-path notes: :meth:`Environment.run` inlines the pop/dispatch loop
+instead of calling :meth:`step` per event — locals for the heap and
+``heappop``, and an ``if callbacks:`` guard that skips iteration
+entirely for plain timeouts nobody registered a callback on.  The
+observable behaviour (clock advance, callback order) is identical to
+the ``step()`` path, which remains the single-event API.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, List, Optional, Tuple
 
 from .events import AllOf, AnyOf, Event, Timeout
@@ -37,6 +44,8 @@ class Environment:
         env.run()
         assert env.now == 5.0
     """
+
+    __slots__ = ("_now", "_heap", "_sequence", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -86,7 +95,7 @@ class Environment:
             raise ValueError(f"cannot schedule event in the past (delay={delay!r})")
         event.triggered = True
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        heappush(self._heap, (self._now + delay, priority, self._sequence, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
@@ -98,7 +107,7 @@ class Environment:
         """Process the single next event, advancing the clock to it."""
         if not self._heap:
             raise EmptySchedule()
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, _priority, _seq, event = heappop(self._heap)
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise RuntimeError("event scheduled in the past")
         self._now = when
@@ -116,15 +125,29 @@ class Environment:
         exactly at ``until`` are *not* executed; the clock is left at
         ``until``).
         """
+        heap = self._heap
+        pop = heappop
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _priority, _seq, event = pop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
             return None
         limit = float(until)
         if limit < self._now:
             raise ValueError(f"until={limit!r} is in the past (now={self._now!r})")
-        while self._heap and self.peek() < limit:
-            self.step()
+        while heap and heap[0][0] < limit:
+            when, _priority, _seq, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
         self._now = limit
         return None
 

@@ -5,10 +5,19 @@ one-shot occurrence with a value, callbacks run when the event fires, and
 :class:`~repro.des.environment.Environment` owns the clock and the pending
 event heap.  Processes (see :mod:`repro.des.process`) are generator
 coroutines that suspend by yielding events.
+
+Hot-path notes: every class here carries ``__slots__`` (events are the
+single most-allocated object in a simulation), and the trigger paths
+(:meth:`Event.succeed`, :meth:`Event.fail`, :class:`Timeout` creation)
+push onto the environment's heap directly instead of going through
+:meth:`Environment.schedule`, saving a method call and a bounds check
+per event.  The scheduling order — ``(time, priority, sequence)`` with a
+monotonic sequence — is byte-identical to the out-of-line path.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -47,6 +56,11 @@ class Event:
     event as their single argument.
     """
 
+    #: ``_interrupt`` marks interrupt wakeups for Process._resume; a real
+    #: slot (always False except on wakeup events) so the resume path
+    #: reads it without a getattr fallback.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "triggered", "_interrupt")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -54,6 +68,7 @@ class Event:
         self._ok: Optional[bool] = None
         #: True once the event has been handed to the scheduler.
         self.triggered = False
+        self._interrupt = False
 
     @property
     def processed(self) -> bool:
@@ -80,7 +95,10 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0.0, priority=priority)
+        self.triggered = True
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._heap, (env._now, priority, sequence, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -91,7 +109,10 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=0.0, priority=priority)
+        self.triggered = True
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._heap, (env._now, priority, sequence, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -113,14 +134,22 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units from now."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: timeouts are the
+        # bulk of all events, so skip both calls and push pre-triggered.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+        self._ok = True
+        self.triggered = True
+        self._interrupt = False
+        self.delay = delay
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._heap, (env._now + delay, PRIORITY_NORMAL, sequence, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay:g} at t={self.env.now:g}>"
@@ -128,6 +157,8 @@ class Timeout(Event):
 
 class AnyOf(Event):
     """Fires when any of the given events fires (value: the first event)."""
+
+    __slots__ = ("_events",)
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env)
@@ -148,6 +179,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Fires when all of the given events fire (value: list of values)."""
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env)

@@ -9,16 +9,27 @@ the return value, so processes can wait on one another.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from .events import Event, Interrupt, PRIORITY_URGENT
+from .events import Event, Interrupt, PRIORITY_NORMAL, PRIORITY_URGENT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .environment import Environment
 
 
 class Process(Event):
-    """A running process; also an event that fires when the process ends."""
+    """A running process; also an event that fires when the process ends.
+
+    Besides events, the generator may yield a bare ``float``/``int``
+    delay — shorthand for ``env.timeout(delay)`` with no observable
+    difference in scheduling order.  The kernel services it without
+    allocating a Timeout: a single reusable wakeup event per process is
+    rescheduled instead (the hot-loop allocation win behind the
+    ``yield delay`` idiom in the simulators).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_wakeup", "_wakeup_callbacks")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
@@ -26,14 +37,18 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._wakeup: Optional[Event] = None
+        self._wakeup_callbacks = [self._resume]
         # Kick the process off at the current instant, before pending
         # same-time timeouts, so initialization happens "now".
         bootstrap = Event(env)
         bootstrap._ok = True
         bootstrap._value = None
         self._waiting_on = bootstrap
-        bootstrap.add_callback(self._resume)
-        env.schedule(bootstrap, delay=0.0, priority=PRIORITY_URGENT)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.triggered = True
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._heap, (env._now, PRIORITY_URGENT, sequence, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -50,6 +65,12 @@ class Process(Event):
             raise RuntimeError("cannot interrupt a finished process")
         if self.env.active_process is self:
             raise RuntimeError("a process cannot interrupt itself")
+        if self._waiting_on is not None and self._waiting_on is self._wakeup:
+            # The abandoned reusable wakeup is still on the heap; drop it
+            # so the next float yield allocates a fresh one instead of
+            # double-scheduling the same object (the stale heap entry
+            # no-ops through the `is not self._waiting_on` guard below).
+            self._wakeup = None
         wakeup = Event(self.env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
@@ -62,8 +83,7 @@ class Process(Event):
         """Advance the generator with the fired event's outcome."""
         if self.triggered:
             return  # process already finished (e.g. interrupt raced the end)
-        is_interrupt = getattr(event, "_interrupt", False)
-        if not is_interrupt:
+        if not event._interrupt:
             if event is not self._waiting_on:
                 return  # stale wakeup from an abandoned event
         self._waiting_on = None
@@ -90,9 +110,28 @@ class Process(Event):
             return
         env._active_process = previous_active
 
+        kind = type(target)
+        if kind is float or kind is int:
+            # Bare delay: reschedule the reusable wakeup in place of a
+            # fresh Timeout.  Ordering is identical — one sequence number
+            # is consumed at the same point a Timeout would consume it.
+            if target < 0:
+                raise ValueError(f"negative timeout delay {target!r}")
+            wakeup = self._wakeup
+            if wakeup is None:
+                self._wakeup = wakeup = Event(env)
+                wakeup._ok = True
+                wakeup._value = None
+                wakeup.triggered = True
+            wakeup.callbacks = self._wakeup_callbacks
+            self._waiting_on = wakeup
+            env._sequence = sequence = env._sequence + 1
+            heappush(env._heap, (env._now + target, PRIORITY_NORMAL, sequence, wakeup))
+            return
         if not isinstance(target, Event):
             raise TypeError(
-                f"process yielded {target!r}; processes must yield Event instances"
+                f"process yielded {target!r}; processes must yield Event "
+                f"instances or bare float delays"
             )
         self._waiting_on = target
         target.add_callback(self._resume)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..core.registry import make_scheduler
 from ..des import Environment
@@ -44,6 +45,28 @@ class ExperimentResult:
         return self.report.mean_response_s
 
 
+@lru_cache(maxsize=64)
+def _cached_catalog(
+    spec: PlacementSpec,
+    tape_count: int,
+    capacity_mb: float,
+    data_blocks: int,
+    expected_replicas: int,
+):
+    """Build-and-validate a catalog, memoized on the placement inputs.
+
+    Catalog construction is deterministic (no RNG) and the result is
+    immutable, so sweeps and campaigns that vary only the scheduler,
+    seed, or workload knobs share one catalog instead of rebuilding and
+    revalidating it per point — a large fraction of short-run wall time.
+    """
+    catalog = build_catalog(spec, tape_count, capacity_mb, data_blocks=data_blocks)
+    validate_catalog(
+        catalog, tape_count, capacity_mb, expected_replicas=expected_replicas
+    )
+    return catalog
+
+
 def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
     """Assemble (but do not run) the simulator for ``config``."""
     if config.drive_technology == "serpentine":
@@ -62,11 +85,12 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
         block_mb=config.block_mb,
         pack_cold=config.pack_cold,
     )
-    catalog = build_catalog(
-        spec, config.tape_count, config.capacity_mb, data_blocks=config.data_blocks
-    )
-    validate_catalog(
-        catalog, config.tape_count, config.capacity_mb, expected_replicas=config.replicas
+    catalog = _cached_catalog(
+        spec,
+        config.tape_count,
+        config.capacity_mb,
+        config.data_blocks,
+        config.replicas,
     )
     rng = random.Random(config.seed)
     if config.zipf_theta is not None:

@@ -26,6 +26,11 @@ from ..layout.catalog import BlockCatalog, Replica
 class FaultMaskedCatalog:
     """A read-only catalog view hiding dead copies and failed tapes."""
 
+    #: Replica answers can change between calls (masks grow as faults
+    #: are discovered).  Consumers that index replicas at insertion time
+    #: (the pending list) check this flag and re-filter per query.
+    dynamic_replicas = True
+
     def __init__(
         self,
         inner: BlockCatalog,

@@ -111,7 +111,7 @@ class HierarchySimulator:
             delay = self.rng.expovariate(1.0 / self.mean_interarrival_s)
             if self.env.now + delay > horizon_s:
                 return
-            yield self.env.timeout(delay)
+            yield delay
             block_id = self.skew.draw_block(self.rng, self.catalog)
             self.env.process(self._serve(block_id, self.env.now))
 
@@ -119,12 +119,12 @@ class HierarchySimulator:
         block_mb = self.catalog.block_mb
         if self.memory_cache.access(block_id):
             self.stats.memory_hits += 1
-            yield self.env.timeout(self.memory.service_s(block_mb))
+            yield self.memory.service_s(block_mb)
             self.stats.latency.add(self.env.now - arrival_s)
             return
         if self.disk_cache.access(block_id):
             self.stats.disk_hits += 1
-            yield self.env.timeout(self.disk.service_s(block_mb))
+            yield self.disk.service_s(block_mb)
             self.memory_cache.insert(block_id)
             self.stats.latency.add(self.env.now - arrival_s)
             return

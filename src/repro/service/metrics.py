@@ -8,6 +8,9 @@ as steady-state averages after a warm-up window, plus diagnostics
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
@@ -85,6 +88,18 @@ class MetricsReport:
             f"switches/h {self.switches_per_hour:6.2f} | "
             f"queue {self.mean_queue_length:6.1f}"
         )
+
+
+def report_digest(report: MetricsReport) -> str:
+    """A content hash of the full report (field-order independent).
+
+    The canonical form is ``json.dumps`` of ``dataclasses.asdict`` with
+    sorted keys, so two reports hash equal exactly when every metric is
+    bit-identical.  Golden-hash regression tests pin these digests to
+    prove optimization passes introduce zero behavioural drift.
+    """
+    payload = json.dumps(dataclasses.asdict(report), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class MetricsCollector:

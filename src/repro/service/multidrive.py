@@ -274,15 +274,15 @@ class MultiDriveSimulator:
         for arrival_s, request in self.source.arrivals(horizon_s, self.env.now):
             delay = arrival_s - self.env.now
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield delay
             self.submit(request)
 
     # ------------------------------------------------------------------
     # Per-drive service loop
     # ------------------------------------------------------------------
-    def _timed(self, duration_s: float):
+    def _timed(self, duration_s: float) -> float:
         self.metrics.on_drive_busy(self.env.now, duration_s)
-        return self.env.timeout(duration_s)
+        return duration_s
 
     def _drive_process(self, drive_index: int):
         context = self.contexts[drive_index]
@@ -426,7 +426,7 @@ class MultiDriveSimulator:
                 self.metrics.on_retry(self.env.now)
                 backoff_s = self.retry.backoff_s(attempts - 1)
                 if backoff_s > 0:
-                    yield self.env.timeout(backoff_s)
+                    yield backoff_s
                 continue
             # The cartridge is stuck: mask the tape and fail over the
             # sweep planned against it.
@@ -460,7 +460,7 @@ class MultiDriveSimulator:
             backoff_s = self.retry.backoff_s(attempts - 1)
             self.metrics.on_retry(self.env.now)
             if backoff_s > 0:
-                yield self.env.timeout(backoff_s)
+                yield backoff_s
             duration = drive.access(entry.position_mb, block_mb)
             yield self._timed(duration)
             attempts += 1
@@ -539,4 +539,4 @@ class MultiDriveSimulator:
             # Release the claim so surviving drives can mount this tape.
             del self.claims[mounted]
             self._wake_idle_drives()
-        yield self.env.timeout(repair_s)
+        yield repair_s

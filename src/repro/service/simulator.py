@@ -160,13 +160,13 @@ class JukeboxSimulator:
         for arrival_s, request in self.source.arrivals(horizon_s, self.env.now):
             delay = arrival_s - self.env.now
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield delay
             self.submit(request)
 
-    def _timed(self, duration_s: float):
-        """Record drive busy time and return the matching timeout event."""
+    def _timed(self, duration_s: float) -> float:
+        """Record drive busy time; return the delay for a bare yield."""
         self.metrics.on_drive_busy(self.env.now, duration_s)
-        return self.env.timeout(duration_s)
+        return duration_s
 
     def _drive_process(self):
         """The paper's four-step service loop (fault-aware when enabled)."""
@@ -337,7 +337,7 @@ class JukeboxSimulator:
             self.metrics.on_retry(self.env.now)
             if backoff_s > 0:
                 backoff_start = self.env.now
-                yield self.env.timeout(backoff_s)
+                yield backoff_s
                 self._log(
                     OpKind.BACKOFF,
                     backoff_start,
@@ -448,7 +448,7 @@ class JukeboxSimulator:
                 self.metrics.on_retry(self.env.now)
                 if backoff_s > 0:
                     backoff_start = self.env.now
-                    yield self.env.timeout(backoff_s)
+                    yield backoff_s
                     self._log(OpKind.BACKOFF, backoff_start, backoff_s, tape_id=tape_id)
                 continue
             # The cartridge is stuck: take the tape out of service and
@@ -475,4 +475,4 @@ class JukeboxSimulator:
         self.metrics.on_drive_repair(failure_start, repair_s)
         self.jukebox.unload_for_repair()
         self._log(OpKind.REPAIR, failure_start, repair_s, detail="drive-failure")
-        yield self.env.timeout(repair_s)
+        yield repair_s

@@ -143,7 +143,7 @@ class WritebackSimulator(JukeboxSimulator):
             delay = self.write_rng.expovariate(1.0 / self.write_interarrival_s)
             if self.env.now + delay > horizon_s:
                 return
-            yield self.env.timeout(delay)
+            yield delay
             if skew is not None:
                 block_id = skew.draw_block(self.write_rng, self.context.catalog)
             else:

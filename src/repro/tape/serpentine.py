@@ -32,6 +32,10 @@ scheduler for serpentine tape would have to make.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Memo dictionaries are cleared at this size to bound memory.
+_MEMO_CAP = 65536
 
 
 @dataclass(frozen=True)
@@ -74,19 +78,47 @@ class SerpentineTimingModel:
         return self.wrap_mb - offset
 
     # ------------------------------------------------------------------
+    # Lazily-built memo tables (hot path).  Stored via
+    # ``object.__setattr__`` on the frozen dataclass so they are
+    # per-instance, invisible to ``__eq__``/``replace``, and fresh on
+    # ``scaled()`` copies.  Values are computed by exactly the original
+    # arithmetic, so memo hits are bit-identical to recomputation.
+    # ------------------------------------------------------------------
+    def _memos(self) -> Tuple[Dict[Tuple[float, float], float], Dict[float, float]]:
+        try:
+            return self._cached_memos
+        except AttributeError:
+            memos = (
+                {},  # exact locate: (from_mb, to_mb) -> seconds
+                {},  # expected locate: distance_mb -> seconds
+            )
+            object.__setattr__(self, "_cached_memos", memos)
+            return memos
+
+    # ------------------------------------------------------------------
     # Exact costs (used by the drive)
     # ------------------------------------------------------------------
     def locate(self, from_mb: float, to_mb: float) -> float:
         """Seconds to move the head between two logical positions."""
         if from_mb == to_mb:
             return 0.0
-        longitudinal_delta = abs(self.longitudinal(to_mb) - self.longitudinal(from_mb))
-        wrap_delta = abs(self.wrap_of(to_mb) - self.wrap_of(from_mb))
-        return (
-            self.locate_startup_s
-            + self.longitudinal_s_per_mb * longitudinal_delta
-            + (self.wrap_step_s if wrap_delta else 0.0)
-        )
+        pair_memo, _distance_memo = self._memos()
+        key = (from_mb, to_mb)
+        seconds = pair_memo.get(key)
+        if seconds is None:
+            longitudinal_delta = abs(
+                self.longitudinal(to_mb) - self.longitudinal(from_mb)
+            )
+            wrap_delta = abs(self.wrap_of(to_mb) - self.wrap_of(from_mb))
+            seconds = (
+                self.locate_startup_s
+                + self.longitudinal_s_per_mb * longitudinal_delta
+                + (self.wrap_step_s if wrap_delta else 0.0)
+            )
+            if len(pair_memo) >= _MEMO_CAP:
+                pair_memo.clear()
+            pair_memo[key] = seconds
+        return seconds
 
     def read(self, size_mb: float, startup: bool = True) -> float:
         """Seconds to stream ``size_mb`` MB (turnarounds amortized in rate)."""
@@ -133,12 +165,19 @@ class SerpentineTimingModel:
             raise ValueError(f"distance must be >= 0, got {distance_mb!r}")
         if distance_mb == 0:
             return 0.0
-        wrap_cost = self.wrap_step_s if distance_mb > self.wrap_mb / 2 else 0.0
-        return (
-            self.locate_startup_s
-            + self.longitudinal_s_per_mb * self._expected_longitudinal(distance_mb)
-            + wrap_cost
-        )
+        _pair_memo, distance_memo = self._memos()
+        seconds = distance_memo.get(distance_mb)
+        if seconds is None:
+            wrap_cost = self.wrap_step_s if distance_mb > self.wrap_mb / 2 else 0.0
+            seconds = (
+                self.locate_startup_s
+                + self.longitudinal_s_per_mb * self._expected_longitudinal(distance_mb)
+                + wrap_cost
+            )
+            if len(distance_memo) >= _MEMO_CAP:
+                distance_memo.clear()
+            distance_memo[distance_mb] = seconds
+        return seconds
 
     def locate_reverse(self, distance_mb: float, lands_on_bot: bool = False) -> float:
         """Expected reverse locate; symmetric, and no beginning-of-tape

@@ -25,7 +25,14 @@ experiment.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+#: Per-model memo dictionaries are cleared when they reach this many
+#: entries, bounding memory on workloads with unbounded distinct
+#: distances (the steady-state working set of a sweep is far smaller).
+_MEMO_CAP = 65536
 
 
 class Direction(enum.Enum):
@@ -72,6 +79,44 @@ class DriveTimingModel:
     load_s: float = 42.0
 
     # ------------------------------------------------------------------
+    # Cached segment tables and memoized costs (hot path)
+    #
+    # The piecewise tables (sorted breakpoints + matching segments, for
+    # bisect) and the per-distance memo dicts are built lazily, once per
+    # model instance, and stored with ``object.__setattr__`` — legal on
+    # a frozen dataclass and invisible to ``__eq__``/``replace``/
+    # ``asdict``, so ``scaled()`` copies start with fresh caches.  The
+    # bisect lookup selects exactly the segment the original
+    # ``distance <= threshold`` branch selected (``bisect_left`` puts a
+    # distance equal to the breakpoint in the short segment), and the
+    # cost arithmetic is the same ``startup + rate * distance``, so
+    # every returned float is bit-identical to the scan it replaced.
+    # ------------------------------------------------------------------
+    def _tables(
+        self,
+    ) -> Tuple[
+        List[float],
+        Tuple["LinearSegment", ...],
+        Tuple["LinearSegment", ...],
+        Dict[float, float],
+        Dict[float, float],
+        Dict[float, float],
+    ]:
+        try:
+            return self._cached_tables
+        except AttributeError:
+            tables = (
+                [self.short_threshold_mb],
+                (self.forward_short, self.forward_long),
+                (self.reverse_short, self.reverse_long),
+                {},  # forward-locate memo: distance -> seconds
+                {},  # reverse-locate memo (not landing on BOT)
+                {},  # reverse-locate memo (landing on BOT)
+            )
+            object.__setattr__(self, "_cached_tables", tables)
+            return tables
+
+    # ------------------------------------------------------------------
     # Locates
     # ------------------------------------------------------------------
     def locate_forward(self, distance_mb: float) -> float:
@@ -84,9 +129,15 @@ class DriveTimingModel:
             raise ValueError(f"forward locate distance must be >= 0, got {distance_mb!r}")
         if distance_mb == 0:
             return 0.0
-        if distance_mb <= self.short_threshold_mb:
-            return self.forward_short.cost(distance_mb)
-        return self.forward_long.cost(distance_mb)
+        breaks, forward, _reverse, memo, _rmemo, _bmemo = self._tables()
+        seconds = memo.get(distance_mb)
+        if seconds is None:
+            segment = forward[bisect_left(breaks, distance_mb)]
+            seconds = segment.startup + segment.rate * distance_mb
+            if len(memo) >= _MEMO_CAP:
+                memo.clear()
+            memo[distance_mb] = seconds
+        return seconds
 
     def locate_reverse(self, distance_mb: float, lands_on_bot: bool = False) -> float:
         """Seconds for a reverse locate past ``distance_mb`` MB.
@@ -98,12 +149,17 @@ class DriveTimingModel:
             raise ValueError(f"reverse locate distance must be >= 0, got {distance_mb!r}")
         if distance_mb == 0:
             return 0.0
-        if distance_mb <= self.short_threshold_mb:
-            seconds = self.reverse_short.cost(distance_mb)
-        else:
-            seconds = self.reverse_long.cost(distance_mb)
-        if lands_on_bot:
-            seconds += self.bot_overhead_s
+        breaks, _forward, reverse, _fmemo, rmemo, bmemo = self._tables()
+        memo = bmemo if lands_on_bot else rmemo
+        seconds = memo.get(distance_mb)
+        if seconds is None:
+            segment = reverse[bisect_left(breaks, distance_mb)]
+            seconds = segment.startup + segment.rate * distance_mb
+            if lands_on_bot:
+                seconds += self.bot_overhead_s
+            if len(memo) >= _MEMO_CAP:
+                memo.clear()
+            memo[distance_mb] = seconds
         return seconds
 
     def locate(self, from_mb: float, to_mb: float) -> float:

@@ -74,11 +74,79 @@ class TestProcessBasics:
 
     def test_yielding_non_event_raises(self, env):
         def body(env):
-            yield 42
+            yield "not an event"
 
         env.process(body(env))
         with pytest.raises(TypeError):
             env.run()
+
+    def test_yielding_bare_delay_advances_clock(self, env):
+        # Bare floats/ints are timeout shorthand on the allocation-free
+        # fast path; order and clock behaviour match env.timeout exactly.
+        log = []
+
+        def body(env):
+            yield 2.0
+            log.append(env.now)
+            yield 3
+            log.append(env.now)
+
+        env.process(body(env))
+        env.run()
+        assert log == [2.0, 5.0]
+
+    def test_bare_delay_orders_like_timeout(self, env):
+        log = []
+
+        def floats(env):
+            for _ in range(3):
+                yield 1.0
+                log.append(("float", env.now))
+
+        def timeouts(env):
+            for _ in range(3):
+                yield env.timeout(1.0)
+                log.append(("timeout", env.now))
+
+        env.process(floats(env))
+        env.process(timeouts(env))
+        env.run()
+        # Same instants, FIFO by scheduling order within each instant.
+        assert log == [
+            ("float", 1.0), ("timeout", 1.0),
+            ("float", 2.0), ("timeout", 2.0),
+            ("float", 3.0), ("timeout", 3.0),
+        ]
+
+    def test_negative_bare_delay_raises(self, env):
+        def body(env):
+            yield -1.0
+
+        env.process(body(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_interrupt_while_waiting_on_bare_delay(self, env):
+        from repro.des.events import Interrupt
+
+        log = []
+
+        def sleeper(env):
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append(("interrupted", env.now, exc.cause))
+            yield 1.0
+            log.append(("resumed", env.now))
+
+        def interrupter(env, victim):
+            yield 5.0
+            victim.interrupt("wake")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("interrupted", 5.0, "wake"), ("resumed", 6.0)]
 
     def test_unwaited_crash_propagates(self, env):
         def body(env):

@@ -1,13 +1,12 @@
 """QoS threaded through the service loops: deadlines, shedding, breaker."""
 
 import dataclasses
-import hashlib
-import json
 
 from repro.experiments import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.faults import FaultConfig, RetryPolicy
 from repro.qos import QoSConfig
+from repro.service.metrics import report_digest as report_hash
 
 HORIZON = 60_000.0
 
@@ -20,14 +19,6 @@ BASE = ExperimentConfig(
     seed=5,
     warmup_fraction=0.0,
 )
-
-
-def report_hash(report) -> str:
-    """A content hash of the full report (field-order independent)."""
-    payload = json.dumps(
-        dataclasses.asdict(report), sort_keys=True, default=str
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class TestPayForWhatYouUse:

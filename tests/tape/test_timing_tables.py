@@ -1,0 +1,167 @@
+"""Timing-table boundary coverage: bisect lookup == original linear scan.
+
+The cached-segment-table/bisect path in :mod:`repro.tape.timing` must
+return bit-identical floats to the original ``distance <= threshold``
+branch at every input — exact piecewise breakpoints, zero distance,
+end-of-tape, and a dense grid straddling the threshold.
+"""
+
+import pytest
+
+from repro.tape.serpentine import DLT_STYLE, SerpentineTimingModel
+from repro.tape.timing import EXB_8505XL, DriveTimingModel, LinearSegment
+
+#: The paper's tape extent (7 GB of 1 MB blocks).
+END_OF_TAPE_MB = 7 * 1024.0
+
+
+def reference_locate_forward(model: DriveTimingModel, distance_mb: float) -> float:
+    """The original linear-scan implementation, kept as the oracle."""
+    if distance_mb == 0:
+        return 0.0
+    if distance_mb <= model.short_threshold_mb:
+        return model.forward_short.cost(distance_mb)
+    return model.forward_long.cost(distance_mb)
+
+
+def reference_locate_reverse(
+    model: DriveTimingModel, distance_mb: float, lands_on_bot: bool = False
+) -> float:
+    if distance_mb == 0:
+        return 0.0
+    if distance_mb <= model.short_threshold_mb:
+        seconds = model.reverse_short.cost(distance_mb)
+    else:
+        seconds = model.reverse_long.cost(distance_mb)
+    if lands_on_bot:
+        seconds += model.bot_overhead_s
+    return seconds
+
+
+#: A second model with different constants, exercising per-instance tables.
+SCALED = EXB_8505XL.scaled(3.0)
+
+
+@pytest.mark.parametrize("model", [EXB_8505XL, SCALED], ids=["exb", "scaled3x"])
+class TestBreakpoints:
+    def test_exact_threshold_uses_short_segment(self, model):
+        threshold = model.short_threshold_mb
+        assert model.locate_forward(threshold) == model.forward_short.cost(threshold)
+        assert model.locate_reverse(threshold) == model.reverse_short.cost(threshold)
+
+    def test_just_past_threshold_uses_long_segment(self, model):
+        past = model.short_threshold_mb + 1e-9
+        assert model.locate_forward(past) == model.forward_long.cost(past)
+        assert model.locate_reverse(past) == model.reverse_long.cost(past)
+
+    def test_zero_distance_is_free(self, model):
+        assert model.locate_forward(0.0) == 0.0
+        assert model.locate_reverse(0.0) == 0.0
+        assert model.locate_reverse(0.0, lands_on_bot=True) == 0.0
+        assert model.rewind(0.0) == 0.0
+        assert model.locate(100.0, 100.0) == 0.0
+
+    def test_end_of_tape(self, model):
+        assert model.locate_forward(END_OF_TAPE_MB) == reference_locate_forward(
+            model, END_OF_TAPE_MB
+        )
+        assert model.rewind(END_OF_TAPE_MB) == reference_locate_reverse(
+            model, END_OF_TAPE_MB, lands_on_bot=True
+        )
+
+    def test_negative_distance_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.locate_forward(-1.0)
+        with pytest.raises(ValueError):
+            model.locate_reverse(-0.5)
+
+
+class TestDenseGridEquivalence:
+    """Bisect-based lookup equals the linear scan on a dense grid."""
+
+    def _grid(self):
+        # 0..end-of-tape in fractional steps, densified around the
+        # threshold so both segment boundaries are straddled repeatedly.
+        grid = [i * 0.37 for i in range(int(END_OF_TAPE_MB / 0.37) + 1)]
+        threshold = EXB_8505XL.short_threshold_mb
+        grid += [threshold + k * 1e-6 for k in range(-5, 6)]
+        grid += [0.0, 1.0, threshold, END_OF_TAPE_MB]
+        return [g for g in grid if g >= 0]
+
+    def test_forward_matches_reference(self):
+        for distance in self._grid():
+            assert EXB_8505XL.locate_forward(distance) == reference_locate_forward(
+                EXB_8505XL, distance
+            ), distance
+
+    def test_reverse_matches_reference(self):
+        for distance in self._grid():
+            for bot in (False, True):
+                assert EXB_8505XL.locate_reverse(
+                    distance, lands_on_bot=bot
+                ) == reference_locate_reverse(EXB_8505XL, distance, bot), (
+                    distance,
+                    bot,
+                )
+
+    def test_memo_hit_is_bit_identical(self):
+        # Second call must return the identical float object semantics:
+        # same value, computed once, cached thereafter.
+        fresh = DriveTimingModel()
+        first = fresh.locate_forward(123.456)
+        second = fresh.locate_forward(123.456)
+        assert first == second == reference_locate_forward(fresh, 123.456)
+
+
+class TestPerInstanceIsolation:
+    def test_scaled_model_gets_fresh_tables(self):
+        base = DriveTimingModel()
+        base.locate_forward(50.0)  # populate base's memo
+        fast = base.scaled(2.0)
+        assert fast.locate_forward(50.0) == pytest.approx(
+            base.locate_forward(50.0) / 2.0
+        )
+        # And the scaled model's cached value matches its own segments.
+        assert fast.locate_forward(50.0) == fast.forward_long.cost(50.0)
+
+    def test_custom_segments_respected(self):
+        custom = DriveTimingModel(
+            forward_short=LinearSegment(1.0, 0.5),
+            forward_long=LinearSegment(3.0, 0.1),
+            short_threshold_mb=10.0,
+        )
+        assert custom.locate_forward(10.0) == 1.0 + 0.5 * 10.0
+        assert custom.locate_forward(10.0 + 1e-9) == 3.0 + 0.1 * (10.0 + 1e-9)
+
+    def test_dataclass_semantics_survive_caching(self):
+        left = DriveTimingModel()
+        right = DriveTimingModel()
+        left.locate_forward(5.0)  # builds left's lazy tables
+        assert left == right  # caches are invisible to __eq__
+
+
+class TestSerpentineMemos:
+    def test_exact_locate_memo_matches_recompute(self):
+        model = SerpentineTimingModel()
+        pairs = [(0.0, 500.0), (500.0, 0.0), (100.0, 100.0), (6000.0, 6100.0)]
+        fresh = SerpentineTimingModel()
+        for from_mb, to_mb in pairs:
+            assert model.locate(from_mb, to_mb) == fresh.locate(from_mb, to_mb)
+            # memo hit equals first computation
+            assert model.locate(from_mb, to_mb) == fresh.locate(from_mb, to_mb)
+
+    def test_expected_locate_boundaries(self):
+        model = DLT_STYLE
+        assert model.locate_forward(0.0) == 0.0
+        wrap = model.wrap_mb
+        # At/above one wrap the expectation saturates at wrap/3.
+        assert model.locate_forward(wrap) == model.locate_forward(2 * wrap)
+        with pytest.raises(ValueError):
+            model.locate_forward(-1.0)
+
+    def test_rewind_free_and_scaled_isolated(self):
+        model = SerpentineTimingModel()
+        model.locate(0.0, 500.0)
+        fast = model.scaled(2.0)
+        assert fast.locate(0.0, 500.0) == pytest.approx(model.locate(0.0, 500.0) / 2.0)
+        assert fast.rewind(1234.0) == 0.0
