@@ -178,27 +178,74 @@ class CampaignResult:
         return iter(self.results)
 
 
+def _dump_trace(trace_dir: str, config: ExperimentConfig, tracer) -> None:
+    """Write one executed point's trace artifacts into ``trace_dir``.
+
+    Two files per point, named by config digest: ``<digest>.trace.json``
+    (Chrome trace-event JSON, Perfetto-loadable) and
+    ``<digest>.summary.json`` (:class:`~repro.obs.TraceSummary`).
+    """
+    import json
+
+    from ..obs import TraceSummary, write_chrome_trace
+
+    digest = config_digest(config)[:16]
+    write_chrome_trace(
+        tracer, os.path.join(trace_dir, f"{digest}.trace.json")
+    )
+    summary = TraceSummary.from_tracer(tracer, warmup_s=config.warmup_s)
+    with open(
+        os.path.join(trace_dir, f"{digest}.summary.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+
+
 def _execute_point(
-    item: Tuple[int, ExperimentConfig, Callable, Optional[float], Optional[str]]
+    item: Tuple[
+        int,
+        ExperimentConfig,
+        Callable,
+        Optional[float],
+        Optional[str],
+        Optional[str],
+    ]
 ) -> tuple:
     """Run one point; never raises (errors are shipped back as data).
 
     When ``profile_dir`` is set the point runs under :mod:`cProfile`
     and its raw stats are dumped to ``<config_digest[:16]>.prof`` in
     that directory (the dump happens in the worker process, so profiles
-    work with ``jobs > 1``).  Cache hits never reach this function, so
-    every ``.prof`` reflects an actual execution.
+    work with ``jobs > 1``).  When ``trace_dir`` is set and the runner
+    accepts an ``obs`` keyword (the default :func:`run_experiment`
+    does), the point runs with a :class:`~repro.obs.Tracer` attached
+    and its trace artifacts are dumped there, also worker-side.  Cache
+    hits never reach this function, so every artifact reflects an
+    actual execution.
     """
-    index, config, runner, timeout_s, profile_dir = item
+    index, config, runner, timeout_s, profile_dir, trace_dir = item
     try:
+        tracer = None
+        run = runner
+        if trace_dir is not None:
+            import inspect
+
+            if "obs" in inspect.signature(runner).parameters:
+                from ..obs import Tracer
+
+                tracer = Tracer()
+                run = lambda point: runner(point, obs=tracer)  # noqa: E731
         with _wall_clock_limit(timeout_s):
             if profile_dir is None:
-                return (index, "ok", runner(config))
-            profiler = cProfile.Profile()
-            result = profiler.runcall(runner, config)
-        profiler.dump_stats(
-            os.path.join(profile_dir, f"{config_digest(config)[:16]}.prof")
-        )
+                result = run(config)
+            else:
+                profiler = cProfile.Profile()
+                result = profiler.runcall(run, config)
+        if profile_dir is not None:
+            profiler.dump_stats(
+                os.path.join(profile_dir, f"{config_digest(config)[:16]}.prof")
+            )
+        if tracer is not None:
+            _dump_trace(trace_dir, config, tracer)
         return (index, "ok", result)
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         return (
@@ -230,6 +277,13 @@ class Campaign:
             exempt) runs under :mod:`cProfile` and dumps its raw stats
             to ``<profile_dir>/<config_digest[:16]>.prof``.  The
             directory is created on construction.
+        trace_dir: when set, every *executed* point runs with a
+            :class:`~repro.obs.Tracer` attached (if the runner accepts
+            an ``obs`` keyword) and dumps
+            ``<trace_dir>/<config_digest[:16]>.trace.json`` (Chrome
+            trace-event) plus ``....summary.json``.  Cache hits produce
+            no trace — tracing rides on execution, and does not alter
+            cache keys or results (traced runs are bit-identical).
     """
 
     def __init__(
@@ -241,6 +295,7 @@ class Campaign:
         salt: str = CODE_VERSION,
         point_timeout_s: Optional[float] = None,
         profile_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -253,6 +308,9 @@ class Campaign:
         self.profile_dir = profile_dir
         if profile_dir is not None:
             os.makedirs(profile_dir, exist_ok=True)
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
         self.cache = ResultCache(cache_dir, salt=salt) if cache_dir else None
         self.progress = progress
         self.runner = runner
@@ -335,7 +393,14 @@ class Campaign:
     # ------------------------------------------------------------------
     def _run_one(self, config, outcomes, failures, record) -> None:
         _index, status, payload = _execute_point(
-            (0, config, self.runner, self.point_timeout_s, self.profile_dir)
+            (
+                0,
+                config,
+                self.runner,
+                self.point_timeout_s,
+                self.profile_dir,
+                self.trace_dir,
+            )
         )
         self._absorb(config, status, payload, outcomes, failures, record)
 
@@ -364,6 +429,7 @@ class Campaign:
                             self.runner,
                             self.point_timeout_s,
                             self.profile_dir,
+                            self.trace_dir,
                         ),
                     ): index
                     for index, config in enumerate(pending)

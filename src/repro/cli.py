@@ -65,6 +65,12 @@ def _campaign_parent() -> argparse.ArgumentParser:
         "--profile-dir", default="profiles", metavar="DIR",
         help="directory for per-point .prof dumps (default: ./profiles)",
     )
+    group.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="capture a structured trace per executed point (cache hits "
+        "excluded): <digest>.trace.json (Chrome/Perfetto) + "
+        "<digest>.summary.json",
+    )
     return parent
 
 
@@ -81,6 +87,7 @@ def _campaign_from_args(args: argparse.Namespace):
         progress=ProgressPrinter() if args.progress else None,
         point_timeout_s=args.point_timeout,
         profile_dir=args.profile_dir if args.profile else None,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -284,6 +291,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="emit the SLO accounting as one CSV row instead of a table",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one experiment with structured tracing and export the trace",
+    )
+    _add_run_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON file (open at ui.perfetto.dev)",
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="write the full structured trace as JSON Lines",
+    )
+    trace_parser.add_argument(
+        "--summary-json", default=None, metavar="FILE",
+        help="write the aggregated trace summary as JSON (trace_diff input)",
+    )
+    trace_parser.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="cap per-request async spans in the Chrome export to N requests",
+    )
+    trace_parser.add_argument(
+        "--media-error-rate", type=float, default=0.0,
+        help="per-read transient soft-error probability (adds fault spans)",
+    )
+    trace_parser.add_argument(
+        "--bad-replica-rate", type=float, default=0.0,
+        help="probability a stored copy sits in a permanently bad region",
+    )
+    trace_parser.add_argument(
+        "--fault-seed", type=int, default=7, help="seed for the fault streams"
+    )
+    trace_parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request TTL (s); expired requests show up as an outcome",
+    )
+    trace_parser.add_argument(
+        "--starvation-age", type=float, default=None, metavar="S",
+        help="force-promote requests older than S seconds (forced decisions)",
+    )
+
     subparsers.add_parser("list", help="list available schedulers")
 
     args = parser.parse_args(argv)
@@ -445,6 +493,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.config.describe())
         print(result.report)
         print(format_slo_report(result.report))
+        return 0
+
+    if args.command == "trace":
+        import json
+
+        from .obs import (
+            Tracer,
+            TraceSummary,
+            write_chrome_trace,
+            write_jsonl,
+        )
+        from .report.text import format_trace_summary
+
+        config = _config_from_args(args)
+        if args.media_error_rate > 0.0 or args.bad_replica_rate > 0.0:
+            from .faults.config import FaultConfig
+
+            config = config.with_(
+                faults=FaultConfig(
+                    media_error_rate=args.media_error_rate,
+                    bad_replica_rate=args.bad_replica_rate,
+                    seed=args.fault_seed,
+                )
+            )
+        if args.deadline is not None or args.starvation_age is not None:
+            from .qos.config import QoSConfig
+
+            config = config.with_(
+                qos=QoSConfig(
+                    deadline_s=args.deadline,
+                    starvation_age_s=args.starvation_age,
+                )
+            )
+        obs = Tracer()
+        result = run_experiment(config, obs=obs)
+        print(result.config.describe())
+        print(result.report)
+        summary = TraceSummary.from_tracer(obs, warmup_s=config.warmup_s)
+        print(format_trace_summary(summary))
+        if args.out:
+            payload = write_chrome_trace(
+                obs, args.out, max_requests=args.max_requests
+            )
+            print(
+                f"chrome trace written to {args.out} "
+                f"({len(payload['traceEvents'])} events); "
+                "open it at https://ui.perfetto.dev",
+                file=sys.stderr,
+            )
+        if args.jsonl:
+            count = write_jsonl(obs, args.jsonl)
+            print(
+                f"jsonl trace written to {args.jsonl} ({count} records)",
+                file=sys.stderr,
+            )
+        if args.summary_json:
+            with open(args.summary_json, "w", encoding="utf-8") as handle:
+                json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"summary written to {args.summary_json}", file=sys.stderr)
         return 0
 
     config = _config_from_args(args)

@@ -64,6 +64,10 @@ class MajorDecision:
 
     tape_id: int
     entries: List[ServiceEntry] = field(default_factory=list)
+    #: True when a policy overrode the underlying scheduler's choice
+    #: (e.g. the starvation guard force-promoting an aged request).
+    #: Surfaced in the observability layer's decision log.
+    forced: bool = False
 
     @property
     def request_count(self) -> int:

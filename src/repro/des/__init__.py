@@ -17,7 +17,7 @@ from .events import (
     PRIORITY_URGENT,
     Timeout,
 )
-from .monitor import Monitor
+from .monitor import Monitor, UtilizationTimeline
 from .process import Process
 from .queues import Resource, Store
 
@@ -36,4 +36,5 @@ __all__ = [
     "Resource",
     "Store",
     "Timeout",
+    "UtilizationTimeline",
 ]

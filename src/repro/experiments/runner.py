@@ -5,12 +5,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 from ..core.registry import make_scheduler
 from ..des import Environment
 from ..faults.injector import FaultInjector
 from ..layout.placement import PlacementSpec, build_catalog
 from ..layout.validate import validate_catalog
+from ..obs.tracer import Tracer
 from ..qos.manager import QoSManager
 from ..service.metrics import MetricsCollector, MetricsReport
 from ..service.simulator import JukeboxSimulator
@@ -67,8 +69,16 @@ def _cached_catalog(
     return catalog
 
 
-def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
-    """Assemble (but do not run) the simulator for ``config``."""
+def build_simulator(
+    config: ExperimentConfig, obs: Optional[Tracer] = None
+) -> JukeboxSimulator:
+    """Assemble (but do not run) the simulator for ``config``.
+
+    ``obs`` optionally attaches a :class:`~repro.obs.Tracer`.  It is a
+    parameter rather than a config field so traced and untraced runs
+    share one config identity (campaign cache keys, digests, and the
+    golden-hash pins are all computed from the config alone).
+    """
     if config.drive_technology == "serpentine":
         from ..tape.serpentine import DLT_STYLE
 
@@ -136,6 +146,7 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
             timing=timing,
             faults=faults,
             qos=qos,
+            obs=obs,
         )
 
     jukebox = Jukebox.build(
@@ -151,11 +162,14 @@ def build_simulator(config: ExperimentConfig) -> JukeboxSimulator:
         metrics=metrics,
         faults=faults,
         qos=qos,
+        obs=obs,
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig, obs: Optional[Tracer] = None
+) -> ExperimentResult:
     """Run one simulation to its horizon and collect steady-state metrics."""
-    simulator = build_simulator(config)
+    simulator = build_simulator(config, obs=obs)
     report = simulator.run(config.horizon_s)
     return ExperimentResult(config=config, report=report)

@@ -71,6 +71,10 @@ class FaultInjector:
         ]
         #: Injected-fault counts by fault ``kind``.
         self.injected: Dict[str, int] = {}
+        #: Optional :class:`~repro.obs.Tracer`; wired by the simulator
+        #: when tracing is on.  The injector has no environment handle,
+        #: so its events read the tracer's bound clock (``now=None``).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Read path
@@ -102,6 +106,10 @@ class FaultInjector:
     def condemn_replica(self, tape_id: int, block_id: int) -> None:
         """Record a copy as known-unreadable (discovered or escalated)."""
         self.known_bad.add((tape_id, block_id))
+        if self.obs is not None:
+            self.obs.event(
+                None, "replica-condemned", tape_id=tape_id, block_id=block_id
+            )
 
     # ------------------------------------------------------------------
     # Robot path
@@ -118,6 +126,8 @@ class FaultInjector:
     def fail_tape(self, tape_id: int) -> None:
         """Take ``tape_id`` permanently out of service (masks it)."""
         self.failed_tapes.add(tape_id)
+        if self.obs is not None:
+            self.obs.event(None, "tape-failed", tape_id=tape_id)
 
     def tape_failed(self, tape_id: int) -> bool:
         """True when ``tape_id`` has been taken out of service."""

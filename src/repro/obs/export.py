@@ -1,0 +1,344 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON.
+
+Two formats, one source of truth (the :class:`~repro.obs.tracer.Tracer`):
+
+* **JSONL** — one self-describing JSON object per line, suitable for
+  ``jq``/pandas post-processing and for lossless round-trips
+  (:func:`trace_to_jsonl` / :func:`parse_jsonl`).  The first line is a
+  ``meta`` record carrying :data:`JSONL_SCHEMA`.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format
+  understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing`` (:func:`to_chrome_trace`).  Drive activity
+  becomes complete ("X") slices on one thread per drive, request phase
+  spans become async ("b"/"e") slices keyed by request id, and faults /
+  sheds / decisions become instant ("i") events.  Simulated seconds map
+  to trace microseconds.
+
+:func:`validate_chrome_trace` is the schema gate both the tests and the
+CLI run before a file is written.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from .tracer import Tracer
+
+#: Version tag of the JSONL record layout.
+JSONL_SCHEMA = "repro-trace/1"
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def trace_to_jsonl(tracer: Tracer) -> Iterator[str]:
+    """Serialize ``tracer`` as one JSON object per line.
+
+    Record order is deterministic: meta, request traces (id order),
+    drive spans, decisions, events (each in record order), counters.
+    """
+    yield json.dumps(
+        {
+            "type": "meta",
+            "schema": JSONL_SCHEMA,
+            "requests": len(tracer.requests),
+            "drive_spans": len(tracer.drive_spans),
+            "events": len(tracer.events),
+            "decisions": len(tracer.decisions),
+            "dropped_drive_spans": tracer.dropped_drive_spans,
+            "dropped_events": tracer.dropped_events,
+        },
+        sort_keys=True,
+    )
+    for _rid, trace in sorted(tracer.requests.items()):
+        yield json.dumps(
+            {
+                "type": "request",
+                "request_id": trace.request_id,
+                "block_id": trace.block_id,
+                "arrival_s": trace.arrival_s,
+                "end_s": trace.end_s,
+                "outcome": trace.outcome,
+                "phases": dict(sorted(trace.phases.items())),
+                "spans": [list(span) for span in trace.spans],
+            },
+            sort_keys=True,
+        )
+    for span in tracer.drive_spans:
+        record = {
+            "type": "op",
+            "drive": span.drive,
+            "kind": span.kind,
+            "start_s": span.start_s,
+            "duration_s": span.duration_s,
+        }
+        for key in ("tape_id", "block_id", "position_mb", "detail"):
+            value = getattr(span, key)
+            if value is not None:
+                record[key] = value
+        yield json.dumps(record, sort_keys=True)
+    for decision in tracer.decisions:
+        yield json.dumps(
+            {
+                "type": "decision",
+                "time_s": decision.time_s,
+                "drive": decision.drive,
+                "scheduler": decision.scheduler,
+                "tape_id": decision.tape_id,
+                "entry_count": decision.entry_count,
+                "request_count": decision.request_count,
+                "pending_len": decision.pending_len,
+                "forced": decision.forced,
+            },
+            sort_keys=True,
+        )
+    for event in tracer.events:
+        yield json.dumps(
+            {
+                "type": "event",
+                "time_s": event.time_s,
+                "kind": event.kind,
+                "drive": event.drive,
+                "attrs": event.attr_dict(),
+            },
+            sort_keys=True,
+        )
+    yield json.dumps(
+        {"type": "counters", **tracer.metrics.snapshot()}, sort_keys=True
+    )
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the JSONL export to ``path``; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in trace_to_jsonl(tracer):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+def parse_jsonl(lines) -> Dict[str, List[dict]]:
+    """Parse a JSONL export back into records grouped by type.
+
+    Raises ``ValueError`` on an unknown schema or a record missing its
+    required keys — the round-trip contract the exporter tests pin.
+    """
+    grouped: Dict[str, List[dict]] = {
+        "meta": [],
+        "request": [],
+        "op": [],
+        "decision": [],
+        "event": [],
+        "counters": [],
+    }
+    required = {
+        "meta": ("schema",),
+        "request": ("request_id", "block_id", "arrival_s", "phases", "spans"),
+        "op": ("drive", "kind", "start_s", "duration_s"),
+        "decision": ("time_s", "drive", "scheduler", "tape_id", "pending_len"),
+        "event": ("time_s", "kind"),
+        "counters": ("counters", "gauges"),
+    }
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind not in grouped:
+            raise ValueError(f"line {number}: unknown record type {kind!r}")
+        missing = [key for key in required[kind] if key not in record]
+        if missing:
+            raise ValueError(f"line {number}: {kind} record missing {missing}")
+        grouped[kind].append(record)
+    if not grouped["meta"]:
+        raise ValueError("no meta record (not a repro trace JSONL file?)")
+    schema = grouped["meta"][0]["schema"]
+    if schema != JSONL_SCHEMA:
+        raise ValueError(f"unsupported schema {schema!r} (expected {JSONL_SCHEMA!r})")
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+#: pid of the hardware timeline (one tid per drive).
+PID_DRIVES = 1
+#: pid of the request timeline (async slices keyed by request id).
+PID_REQUESTS = 2
+
+
+def to_chrome_trace(
+    tracer: Tracer, max_requests: Optional[int] = None
+) -> dict:
+    """Render ``tracer`` in Chrome trace-event format.
+
+    ``max_requests`` caps how many request traces are exported as async
+    slices (lowest request ids first); drive activity, decisions, and
+    events are always complete.  Load the resulting file in Perfetto or
+    ``chrome://tracing``.
+    """
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID_DRIVES,
+            "tid": 0,
+            "args": {"name": "jukebox drives"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID_REQUESTS,
+            "tid": 0,
+            "args": {"name": "requests"},
+        },
+    ]
+    for track in tracer.timeline.tracks():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID_DRIVES,
+                "tid": track,
+                "args": {"name": f"drive {track}"},
+            }
+        )
+    for span in tracer.drive_spans:
+        args = {}
+        for key in ("tape_id", "block_id", "position_mb", "detail"):
+            value = getattr(span, key)
+            if value is not None:
+                args[key] = value
+        events.append(
+            {
+                "ph": "X",
+                "name": span.kind,
+                "cat": "drive",
+                "pid": PID_DRIVES,
+                "tid": span.drive,
+                "ts": span.start_s * _US,
+                "dur": span.duration_s * _US,
+                "args": args,
+            }
+        )
+    for decision in tracer.decisions:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": "decision" + (":forced" if decision.forced else ""),
+                "cat": "scheduler",
+                "pid": PID_DRIVES,
+                "tid": decision.drive,
+                "ts": decision.time_s * _US,
+                "args": {
+                    "scheduler": decision.scheduler,
+                    "tape_id": decision.tape_id,
+                    "entries": decision.entry_count,
+                    "requests": decision.request_count,
+                    "pending": decision.pending_len,
+                },
+            }
+        )
+    for event in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t" if event.drive is not None else "g",
+                "name": event.kind,
+                "cat": "event",
+                "pid": PID_DRIVES,
+                "tid": event.drive if event.drive is not None else 0,
+                "ts": event.time_s * _US,
+                "args": event.attr_dict(),
+            }
+        )
+    exported = 0
+    for _rid, trace in sorted(tracer.requests.items()):
+        if max_requests is not None and exported >= max_requests:
+            break
+        exported += 1
+        for phase, start_s, end_s in trace.spans:
+            base = {
+                "cat": "request",
+                "id": trace.request_id,
+                "pid": PID_REQUESTS,
+                "tid": 0,
+                "name": phase,
+                "args": {
+                    "request_id": trace.request_id,
+                    "block_id": trace.block_id,
+                    "outcome": trace.outcome,
+                },
+            }
+            events.append({**base, "ph": "b", "ts": start_s * _US})
+            events.append({**base, "ph": "e", "ts": end_s * _US})
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": JSONL_SCHEMA, "exported_requests": exported},
+        "traceEvents": events,
+    }
+
+
+def validate_chrome_trace(payload: dict) -> Dict[str, int]:
+    """Validate a Chrome trace-event payload; returns counts by phase.
+
+    Raises ``ValueError`` on any malformed event — the schema test (and
+    the CLI, before writing a file) runs every export through this.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("payload is not a trace-event container")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counts: Dict[str, int] = {}
+    open_async: Dict[tuple, int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "b", "e", "M"):
+            raise ValueError(f"event {index}: unknown phase {phase!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {index}: missing {key!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event {index}: bad ts {ts!r}")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(f"event {index}: bad dur {duration!r}")
+        if phase in ("b", "e"):
+            if "id" not in event:
+                raise ValueError(f"event {index}: async event missing id")
+            key = (event["pid"], event.get("cat"), event["id"], event["name"])
+            if phase == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    raise ValueError(f"event {index}: 'e' without matching 'b'")
+                open_async[key] -= 1
+        counts[phase] = counts.get(phase, 0) + 1
+    unbalanced = {key: n for key, n in open_async.items() if n}
+    if unbalanced:
+        raise ValueError(f"unbalanced async slices: {len(unbalanced)}")
+    return counts
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, max_requests: Optional[int] = None
+) -> dict:
+    """Validate and write the Chrome trace to ``path``; returns payload."""
+    payload = to_chrome_trace(tracer, max_requests=max_requests)
+    validate_chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return payload

@@ -1,0 +1,67 @@
+"""A lightweight counter/gauge registry riding alongside the metrics.
+
+:class:`MetricsCollector` computes the paper's steady-state summary;
+this registry is the operational complement: monotonically increasing
+counters and last-value gauges that any instrumented layer can bump
+without declaring them up front.  It is deliberately schema-free — the
+set of names that exists after a run *is* the event taxonomy the run
+exercised — and deterministic: iteration order is sorted, so exports
+hash stably across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class MetricRegistry:
+    """Named counters (monotonic) and gauges (last value)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, by: int = 1) -> int:
+        """Increment counter ``name`` by ``by``; returns the new value."""
+        value = self._counters.get(name, 0) + by
+        self._counters[name] = value
+        return value
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Latest value of gauge ``name`` (``default`` if never set)."""
+        return self._gauges.get(name, default)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        """All counters in sorted name order."""
+        return iter(sorted(self._counters.items()))
+
+    def gauges(self) -> Iterator[Tuple[str, float]]:
+        """All gauges in sorted name order."""
+        return iter(sorted(self._gauges.items()))
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-ready ``{"counters": ..., "gauges": ...}`` dict."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)

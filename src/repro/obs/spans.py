@@ -1,0 +1,171 @@
+"""Span model: typed intervals in one request's life and on one drive.
+
+The observability layer (see ``docs/OBSERVABILITY.md``) records two
+kinds of timelines:
+
+* **Request traces** — each admitted request accumulates a contiguous
+  chain of *phase spans* from arrival to its terminal event.  The phase
+  taxonomy is :data:`PHASES`; spans chain timestamp-to-timestamp, so by
+  construction the phase durations of a request sum exactly to its
+  response time (the conservation property the tests pin).
+* **Drive spans** — what each drive was physically doing (switch, read,
+  idle, backoff, repair), the utilization timeline TALICS³-style
+  component reports are built from.
+
+Both are plain data: the :class:`~repro.obs.tracer.Tracer` owns the
+recording discipline, :mod:`repro.obs.export` owns the serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Ordered phase taxonomy of one request's life.  ``queue`` is time on
+#: the pending list before a major reschedule selects the request;
+#: ``exchange`` is the tape switch its sweep paid; ``sweep-wait`` is
+#: time inside a sweep waiting for earlier reads; ``locate``/``read``
+#: split the delivering physical access; ``recovery`` is time spent in
+#: fault handling (failed reads, retries, backoff, failover requeues).
+PHASES: Tuple[str, ...] = (
+    "queue",
+    "exchange",
+    "sweep-wait",
+    "locate",
+    "read",
+    "recovery",
+)
+
+#: Terminal outcomes a request trace may end in (exactly one each).
+OUTCOMES: Tuple[str, ...] = ("complete", "shed", "expired", "failed")
+
+
+@dataclass(frozen=True)
+class DriveSpan:
+    """One interval of drive (or robot) activity."""
+
+    drive: int
+    kind: str
+    start_s: float
+    duration_s: float
+    tape_id: Optional[int] = None
+    block_id: Optional[int] = None
+    position_mb: Optional[float] = None
+    detail: Optional[str] = None
+
+    @property
+    def end_s(self) -> float:
+        """Completion time of the span."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous structured event (fault, failover, shed, ...)."""
+
+    time_s: float
+    kind: str
+    drive: Optional[int] = None
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def attr_dict(self) -> Dict[str, object]:
+        """The event attributes as a plain dict."""
+        return dict(self.attrs)
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One major-reschedule outcome (the scheduler-decision log)."""
+
+    time_s: float
+    drive: int
+    scheduler: str
+    tape_id: int
+    entry_count: int
+    request_count: int
+    pending_len: int
+    #: True when the starvation guard bypassed the wrapped scheduler.
+    forced: bool = False
+
+
+@dataclass
+class RequestTrace:
+    """The accumulated life of one request.
+
+    Phase accounting uses a single moving ``mark``: every
+    :meth:`advance` attributes the interval since the mark to one phase
+    and moves the mark forward, so the spans tile ``[arrival_s,
+    end_s]`` with no gaps or overlaps.
+    """
+
+    request_id: int
+    block_id: int
+    arrival_s: float
+    end_s: Optional[float] = None
+    outcome: Optional[str] = None
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Contiguous (phase, start_s, end_s) chain, in time order.
+    spans: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: True after a major reschedule selected this request (reset by a
+    #: failover/requeue, which sends it back to the pending list).
+    scheduled: bool = False
+    #: True once a fault interrupted this request's current attempt.
+    in_recovery: bool = False
+    _mark: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._mark = self.arrival_s
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the request reached exactly one terminal outcome."""
+        return self.outcome is not None
+
+    @property
+    def response_s(self) -> Optional[float]:
+        """End-to-end time for terminal traces, else ``None``."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.arrival_s
+
+    def wait_phase(self) -> str:
+        """The phase the request is currently accumulating time in."""
+        if self.in_recovery:
+            return "recovery"
+        return "sweep-wait" if self.scheduled else "queue"
+
+    #: Tolerance for float drift when a span boundary is recomputed
+    #: (e.g. ``now - locate - read`` landing an ulp before the mark).
+    _EPSILON_S = 1e-6
+
+    def advance(self, phase: str, now: float) -> None:
+        """Attribute ``[mark, now]`` to ``phase`` and move the mark."""
+        if now < self._mark:
+            if self._mark - now > self._EPSILON_S:
+                raise ValueError(
+                    f"request {self.request_id}: advance to {now} before "
+                    f"mark {self._mark}"
+                )
+            now = self._mark
+        if now > self._mark:
+            self.phases[phase] = self.phases.get(phase, 0.0) + (now - self._mark)
+            self.spans.append((phase, self._mark, now))
+            self._mark = now
+
+    def finish(self, outcome: str, now: float) -> None:
+        """Close the trace with ``outcome``; residual time goes to the
+        current wait phase."""
+        if self.outcome is not None:
+            raise RuntimeError(
+                f"request {self.request_id} already terminal "
+                f"({self.outcome!r}); cannot finish as {outcome!r}"
+            )
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        self.advance(self.wait_phase(), now)
+        self.outcome = outcome
+        self.end_s = now
+
+    def phase_total(self) -> float:
+        """Sum of all attributed phase durations."""
+        return sum(self.phases.values())

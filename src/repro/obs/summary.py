@@ -1,0 +1,181 @@
+"""Aggregate view of one trace: the ``tape-jukebox trace`` report.
+
+:class:`TraceSummary` reduces a :class:`~repro.obs.tracer.Tracer` to the
+numbers an operator compares across runs: mean per-phase time of
+completed post-warmup requests (which reconciles with the metrics
+pipeline's mean response time — the phases tile each request's life),
+outcome counts, per-tape read heat, per-drive busy breakdowns, the
+scheduler-decision log, and the counter snapshot.  ``to_dict`` /
+``from_dict`` round-trip through JSON so ``tools/trace_diff.py`` can
+compare two summaries without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .spans import PHASES
+from .tracer import Tracer
+
+#: Version tag of the summary dict layout.
+SUMMARY_SCHEMA = "repro-trace-summary/1"
+
+
+@dataclass
+class TraceSummary:
+    """Per-run aggregates computed from a finished trace."""
+
+    warmup_s: float = 0.0
+    #: Requests completing at or after ``warmup_s`` — the same
+    #: population :class:`~repro.service.metrics.MetricsCollector`
+    #: averages over, so the means reconcile.
+    completed: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    open_requests: int = 0
+    #: Mean seconds per phase over the measured completions.
+    phase_means: Dict[str, float] = field(default_factory=dict)
+    mean_response_s: float = 0.0
+    #: tape_id -> number of delivering reads (post-warmup).
+    tape_heat: Dict[int, int] = field(default_factory=dict)
+    #: drive -> kind -> busy seconds (whole run, not warmup-trimmed).
+    drive_busy: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    decision_count: int = 0
+    forced_decisions: int = 0
+    #: scheduler name -> decision count.
+    decisions_by_scheduler: Dict[str, int] = field(default_factory=dict)
+    #: event kind -> count.
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, warmup_s: float = 0.0) -> "TraceSummary":
+        """Aggregate ``tracer`` (requests arriving before ``warmup_s``
+        are excluded from means, mirroring the metrics pipeline)."""
+        summary = cls(warmup_s=warmup_s)
+        phase_sums: Dict[str, float] = {}
+        response_sum = 0.0
+        for trace in tracer.requests.values():
+            if not trace.is_terminal:
+                summary.open_requests += 1
+                continue
+            summary.outcomes[trace.outcome] = (
+                summary.outcomes.get(trace.outcome, 0) + 1
+            )
+            if trace.outcome != "complete" or trace.end_s < warmup_s:
+                continue
+            summary.completed += 1
+            response_sum += trace.response_s
+            for phase, seconds in trace.phases.items():
+                phase_sums[phase] = phase_sums.get(phase, 0.0) + seconds
+        if summary.completed:
+            summary.mean_response_s = response_sum / summary.completed
+            summary.phase_means = {
+                phase: phase_sums.get(phase, 0.0) / summary.completed
+                for phase in PHASES
+                if phase in phase_sums
+            }
+        for span in tracer.drive_spans:
+            if span.kind == "read" and span.tape_id is not None:
+                if span.start_s >= warmup_s:
+                    summary.tape_heat[span.tape_id] = (
+                        summary.tape_heat.get(span.tape_id, 0) + 1
+                    )
+        for track in tracer.timeline.tracks():
+            summary.drive_busy[track] = tracer.timeline.busy_by_kind(track)
+        summary.decision_count = len(tracer.decisions)
+        for decision in tracer.decisions:
+            if decision.forced:
+                summary.forced_decisions += 1
+            summary.decisions_by_scheduler[decision.scheduler] = (
+                summary.decisions_by_scheduler.get(decision.scheduler, 0) + 1
+            )
+        for event in tracer.events:
+            summary.event_counts[event.kind] = (
+                summary.event_counts.get(event.kind, 0) + 1
+            )
+        snapshot = tracer.metrics.snapshot()
+        summary.counters = snapshot["counters"]
+        summary.gauges = snapshot["gauges"]
+        return summary
+
+    # ------------------------------------------------------------------
+    # Serialization (consumed by tools/trace_diff.py)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-ready dict (int keys become strings)."""
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "warmup_s": self.warmup_s,
+            "completed": self.completed,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "open_requests": self.open_requests,
+            "phase_means": dict(sorted(self.phase_means.items())),
+            "mean_response_s": self.mean_response_s,
+            "tape_heat": {
+                str(tape): count for tape, count in sorted(self.tape_heat.items())
+            },
+            "drive_busy": {
+                str(drive): dict(sorted(kinds.items()))
+                for drive, kinds in sorted(self.drive_busy.items())
+            },
+            "decision_count": self.decision_count,
+            "forced_decisions": self.forced_decisions,
+            "decisions_by_scheduler": dict(
+                sorted(self.decisions_by_scheduler.items())
+            ),
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        schema = payload.get("schema")
+        if schema != SUMMARY_SCHEMA:
+            raise ValueError(
+                f"unsupported summary schema {schema!r} "
+                f"(expected {SUMMARY_SCHEMA!r})"
+            )
+        return cls(
+            warmup_s=payload.get("warmup_s", 0.0),
+            completed=payload.get("completed", 0),
+            outcomes=dict(payload.get("outcomes", {})),
+            open_requests=payload.get("open_requests", 0),
+            phase_means=dict(payload.get("phase_means", {})),
+            mean_response_s=payload.get("mean_response_s", 0.0),
+            tape_heat={
+                int(tape): count
+                for tape, count in payload.get("tape_heat", {}).items()
+            },
+            drive_busy={
+                int(drive): dict(kinds)
+                for drive, kinds in payload.get("drive_busy", {}).items()
+            },
+            decision_count=payload.get("decision_count", 0),
+            forced_decisions=payload.get("forced_decisions", 0),
+            decisions_by_scheduler=dict(
+                payload.get("decisions_by_scheduler", {})
+            ),
+            event_counts=dict(payload.get("event_counts", {})),
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def phase_mean_total(self) -> float:
+        """Sum of the per-phase means; equals :attr:`mean_response_s`
+        up to float rounding (the conservation property)."""
+        return sum(self.phase_means.values())
+
+    def hottest_tapes(self, top: int = 5) -> List[tuple]:
+        """The ``top`` most-read tapes as ``(tape_id, reads)``."""
+        ranked = sorted(self.tape_heat.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top]

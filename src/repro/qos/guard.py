@@ -84,7 +84,7 @@ class StarvationGuardScheduler(Scheduler):
         entries: List[ServiceEntry] = coalesce_entries(
             best_requests, best_tape, context.catalog
         )
-        return MajorDecision(tape_id=best_tape, entries=entries)
+        return MajorDecision(tape_id=best_tape, entries=entries, forced=True)
 
     # ------------------------------------------------------------------
     # Scheduler interface (delegation with one interception point)

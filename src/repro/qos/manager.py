@@ -34,6 +34,10 @@ class QoSManager:
         )
         self.deadline_s = config.deadline_s
         self._seen_trips = 0
+        #: Optional :class:`~repro.obs.Tracer`; when attached the
+        #: simulator wires it here so sheds and breaker trips appear in
+        #: the trace with their reasons.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Admission (the pending-list boundary)
@@ -51,9 +55,13 @@ class QoSManager:
             if self.breaker.trips != self._seen_trips:
                 self._note_trip(now)
             self.metrics.on_shed(request, now, reason="degraded")
+            if self.obs is not None:
+                self.obs.on_shed(request, now, "degraded")
             return False
         if not self.admission.admit(now, pending_len):
             self.metrics.on_shed(request, now, reason=self.admission.shed_reason)
+            if self.obs is not None:
+                self.obs.on_shed(request, now, self.admission.shed_reason)
             return False
         if self.deadline_s is not None:
             request.deadline_s = now + self.deadline_s
@@ -62,6 +70,8 @@ class QoSManager:
     def _note_trip(self, now: float) -> None:
         self._seen_trips = self.breaker.trips
         self.metrics.on_breaker_trip(now)
+        if self.obs is not None:
+            self.obs.event(now, "breaker-trip", trips=self.breaker.trips)
 
     # ------------------------------------------------------------------
     # Deadlines (expiry-on-dequeue)

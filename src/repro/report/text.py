@@ -101,3 +101,73 @@ def format_figure(figure_data) -> str:
             )
         lines.append("")
     return "\n".join(lines)
+
+
+def format_trace_summary(summary) -> str:
+    """Render a :class:`~repro.obs.TraceSummary` for terminal output.
+
+    Covers the per-phase time breakdown (with the reconciliation line
+    showing the phase means summing back to the mean response time),
+    outcome counts, the hottest tapes, per-drive busy breakdowns, and
+    the scheduler-decision totals.
+    """
+    blocks = []
+
+    phase_rows = [
+        (phase, f"{seconds:.2f}")
+        for phase, seconds in sorted(
+            summary.phase_means.items(), key=lambda item: -item[1]
+        )
+    ]
+    phase_rows.append(("= mean response", f"{summary.phase_mean_total():.2f}"))
+    blocks.append("--- where the time went (mean s/completed request) ---")
+    blocks.append(format_table(("phase", "seconds"), phase_rows))
+    blocks.append(
+        f"reconciliation: sum of phase means {summary.phase_mean_total():.3f} s"
+        f" vs mean response {summary.mean_response_s:.3f} s"
+        f" over {summary.completed} completed requests"
+    )
+
+    outcome_rows = [
+        (outcome, count) for outcome, count in sorted(summary.outcomes.items())
+    ]
+    if summary.open_requests:
+        outcome_rows.append(("(still open)", summary.open_requests))
+    blocks.append("--- outcomes ---")
+    blocks.append(format_table(("outcome", "requests"), outcome_rows))
+
+    hottest = summary.hottest_tapes()
+    if hottest:
+        blocks.append("--- hottest tapes (delivering reads) ---")
+        blocks.append(format_table(("tape", "reads"), hottest))
+
+    if summary.drive_busy:
+        kinds = sorted(
+            {kind for kinds in summary.drive_busy.values() for kind in kinds}
+        )
+        rows = [
+            (drive, *(f"{summary.drive_busy[drive].get(kind, 0.0):.0f}" for kind in kinds))
+            for drive in sorted(summary.drive_busy)
+        ]
+        blocks.append("--- drive busy seconds by kind ---")
+        blocks.append(format_table(("drive", *kinds), rows))
+
+    decision_rows = [
+        (name, count)
+        for name, count in sorted(summary.decisions_by_scheduler.items())
+    ]
+    decision_rows.append(("total", summary.decision_count))
+    if summary.forced_decisions:
+        decision_rows.append(("forced (starvation guard)", summary.forced_decisions))
+    blocks.append("--- scheduler decisions ---")
+    blocks.append(format_table(("scheduler", "decisions"), decision_rows))
+
+    if summary.event_counts:
+        blocks.append("--- events ---")
+        blocks.append(
+            format_table(
+                ("event", "count"), sorted(summary.event_counts.items())
+            )
+        )
+
+    return "\n".join(blocks)

@@ -15,8 +15,8 @@ simulation and trivially parallelizable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
 
 from typing import TYPE_CHECKING
 
@@ -25,6 +25,7 @@ from .metrics import MetricsReport
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a circular runtime import
     from ..experiments.config import ExperimentConfig
+    from ..obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,9 @@ class FarmReport:
     """Aggregate metrics of a farm plus the per-jukebox reports."""
 
     per_jukebox: List[MetricsReport]
+    #: Per-jukebox traces, parallel to :attr:`per_jukebox`; empty unless
+    #: :func:`run_farm` was given a ``tracer_factory``.
+    traces: List["Tracer"] = field(default_factory=list)
 
     @property
     def size(self) -> int:
@@ -106,6 +110,7 @@ def run_farm(
     base: "ExperimentConfig",
     jukebox_count: int,
     total_queue_length: int,
+    tracer_factory: Optional[Callable[[int], "Tracer"]] = None,
 ) -> FarmReport:
     """Simulate a farm of ``jukebox_count`` identical jukeboxes.
 
@@ -113,6 +118,10 @@ def run_farm(
     jukebox serves an even share (remainders go to the first
     jukeboxes).  Seeds are derived per jukebox so streams differ but the
     whole farm stays reproducible from ``base.seed``.
+
+    ``tracer_factory`` (optional) is called as ``tracer_factory(index)``
+    per jukebox; each returned :class:`~repro.obs.Tracer` is attached to
+    that jukebox's run and collected on :attr:`FarmReport.traces`.
     """
     if jukebox_count <= 0:
         raise ValueError(f"jukebox_count must be positive, got {jukebox_count!r}")
@@ -127,11 +136,15 @@ def run_farm(
 
     share, remainder = divmod(total_queue_length, jukebox_count)
     reports: List[MetricsReport] = []
+    traces: List["Tracer"] = []
     for index in range(jukebox_count):
         queue_length = share + (1 if index < remainder else 0)
         config = base.with_(
             queue_length=queue_length,
             seed=derive_seed(base.seed, f"farm:{index}") % (2**31),
         )
-        reports.append(run_experiment(config).report)
-    return FarmReport(per_jukebox=reports)
+        obs = tracer_factory(index) if tracer_factory is not None else None
+        reports.append(run_experiment(config, obs=obs).report)
+        if obs is not None:
+            traces.append(obs)
+    return FarmReport(per_jukebox=reports, traces=traces)

@@ -35,6 +35,7 @@ from ..faults.injector import FaultInjector
 from ..faults.masking import FaultMaskedCatalog
 from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
+from ..obs.tracer import Tracer
 from ..qos.manager import QoSManager
 from ..tape.drive import TapeDrive
 from ..tape.tape import TapePool
@@ -151,6 +152,7 @@ class MultiDriveSimulator:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
         qos: Optional[QoSManager] = None,
+        obs: Optional[Tracer] = None,
     ) -> None:
         if drive_count <= 0:
             raise ValueError(f"drive_count must be positive, got {drive_count!r}")
@@ -162,6 +164,15 @@ class MultiDriveSimulator:
         self.metrics = metrics
         self.faults = faults
         self.qos = qos
+        #: Optional structured tracer (see :mod:`repro.obs`); every call
+        #: site is guarded so ``obs=None`` runs stay bit-identical.
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(lambda: env.now)
+            if qos is not None:
+                qos.obs = obs
+            if faults is not None:
+                faults.obs = obs
         if retry is None and faults is not None:
             retry = faults.config.retry
         self.retry = retry
@@ -220,6 +231,8 @@ class MultiDriveSimulator:
         attempt fails) the request joins the shared pending list.
         """
         self.metrics.on_arrival(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_arrival(request, self.env.now)
         if self.qos is not None and not self.qos.admit(request, len(self.pending)):
             # Shed at the boundary: the request never reaches the shared
             # pending list or any drive's scheduler (and sheds do not
@@ -262,6 +275,8 @@ class MultiDriveSimulator:
             else:
                 self.pending.append(request)
                 self.metrics.on_arrival(request, self.env.now)
+                if self.obs is not None:
+                    self.obs.on_arrival(request, self.env.now)
         for drive_index in range(len(self.drives)):
             self.env.process(self._drive_process(drive_index))
         if not self.source.is_closed:
@@ -305,10 +320,23 @@ class MultiDriveSimulator:
                 scheduler.major_reschedule(context) if len(self.pending) else None
             )
             if decision is None:
+                idle_start = self.env.now
                 wakeup = self.env.event()
                 self._wakeups[drive_index] = wakeup
                 yield wakeup
+                if self.obs is not None:
+                    self.obs.on_op(
+                        drive_index, "idle", idle_start, self.env.now - idle_start
+                    )
                 continue
+            if self.obs is not None:
+                self.obs.on_decision(
+                    self.env.now,
+                    drive_index,
+                    scheduler.name,
+                    decision,
+                    len(self.pending),
+                )
 
             switching = decision.tape_id != drive.mounted_id
             start_head = 0.0 if switching else drive.head_mb
@@ -319,6 +347,7 @@ class MultiDriveSimulator:
                 # Claim the new tape first so no other drive grabs it
                 # while this one rewinds and waits for the arm.
                 self.claims[decision.tape_id] = drive_index
+                switch_start = self.env.now
                 old_tape = drive.mounted_id
                 if drive.is_loaded:
                     yield self._timed(drive.rewind())
@@ -337,6 +366,25 @@ class MultiDriveSimulator:
                 yield self._timed(drive.load(self.pool[decision.tape_id]))
                 self.tape_switches += 1
                 self.metrics.on_tape_switch(self.env.now)
+                if self.obs is not None:
+                    # One span covers the whole exchange: rewind + eject
+                    # + arm wait + swap + load.
+                    self.obs.on_op(
+                        drive_index,
+                        "switch",
+                        switch_start,
+                        self.env.now - switch_start,
+                        tape_id=decision.tape_id,
+                    )
+            if self.obs is not None:
+                self.obs.on_exchange(
+                    (
+                        request
+                        for entry in decision.entries
+                        for request in entry.requests
+                    ),
+                    self.env.now,
+                )
 
             drive_failed = False
             while not service.is_empty:
@@ -366,8 +414,20 @@ class MultiDriveSimulator:
                             service.finish_in_flight()
                             continue
                         entry.requests[:] = live
+                read_start = self.env.now
+                head_before = drive.head_mb if self.obs is not None else 0.0
                 duration = drive.access(entry.position_mb, block_mb)
                 yield self._timed(duration)
+                if self.obs is not None:
+                    self.obs.on_op(
+                        drive_index,
+                        "read",
+                        read_start,
+                        duration,
+                        tape_id=drive.mounted_id,
+                        block_id=entry.block_id,
+                        position_mb=entry.position_mb,
+                    )
                 fault = (
                     self.faults.read_fault(drive.mounted_id, entry.block_id)
                     if self.faults is not None
@@ -375,7 +435,11 @@ class MultiDriveSimulator:
                 )
                 if fault is None:
                     service.finish_in_flight()
-                    self._deliver(entry, duration)
+                    self._deliver(
+                        entry,
+                        duration,
+                        locate_s=self._locate_of(drive, head_before, entry),
+                    )
                 else:
                     yield from self._recover_read(drive_index, entry, fault)
                     service.finish_in_flight()
@@ -390,10 +454,25 @@ class MultiDriveSimulator:
     # ------------------------------------------------------------------
     # Completion and fault recovery
     # ------------------------------------------------------------------
-    def _deliver(self, entry: ServiceEntry, service_s: float) -> None:
+    def _locate_of(
+        self, drive: TapeDrive, head_before_mb: float, entry: ServiceEntry
+    ) -> float:
+        """Locate component of the access that just served ``entry``
+        (pure recomputation; only called when a tracer is attached)."""
+        if self.obs is None:
+            return 0.0
+        return drive.timing.locate(head_before_mb, entry.position_mb)
+
+    def _deliver(
+        self, entry: ServiceEntry, service_s: float, locate_s: float = 0.0
+    ) -> None:
         """Complete every request coalesced onto a successful read."""
         for request in entry.requests:
             self.metrics.on_completion(request, self.env.now, service_s=service_s)
+            if self.obs is not None:
+                self.obs.on_complete(
+                    request, self.env.now, locate_s, service_s - locate_s
+                )
             if self.source.is_closed:
                 replacement = self.source.on_completion(self.env.now)
                 if replacement is not None:
@@ -418,6 +497,13 @@ class MultiDriveSimulator:
                 self.metrics.on_fault(fault.kind, self.env.now)
                 if self.qos is not None:
                     self.qos.on_fault()
+                if self.obs is not None:
+                    self.obs.event(
+                        self.env.now,
+                        fault.kind,
+                        drive=drive_index,
+                        tape_id=tape_id,
+                    )
                 yield self._timed(self.robot_swap_s)
             finally:
                 self.robot.release()
@@ -447,10 +533,20 @@ class MultiDriveSimulator:
         tape_id = drive.mounted_id
         block_mb = self.catalog.block_mb
         attempts = 1
+        if self.obs is not None:
+            self.obs.on_fault(entry.requests, self.env.now)
         while True:
             self.metrics.on_fault(fault.kind, self.env.now)
             if self.qos is not None:
                 self.qos.on_fault()
+            if self.obs is not None:
+                self.obs.event(
+                    self.env.now,
+                    fault.kind,
+                    drive=drive_index,
+                    tape_id=tape_id,
+                    block_id=entry.block_id,
+                )
             if not (
                 fault.transient
                 and self.retry is not None
@@ -459,14 +555,49 @@ class MultiDriveSimulator:
                 break
             backoff_s = self.retry.backoff_s(attempts - 1)
             self.metrics.on_retry(self.env.now)
+            if self.obs is not None:
+                self.obs.event(
+                    self.env.now,
+                    "retry",
+                    drive=drive_index,
+                    block_id=entry.block_id,
+                    attempt=attempts,
+                )
             if backoff_s > 0:
+                backoff_start = self.env.now
                 yield backoff_s
+                if self.obs is not None:
+                    self.obs.on_op(
+                        drive_index,
+                        "backoff",
+                        backoff_start,
+                        backoff_s,
+                        tape_id=tape_id,
+                        block_id=entry.block_id,
+                    )
+            read_start = self.env.now
+            head_before = drive.head_mb if self.obs is not None else 0.0
             duration = drive.access(entry.position_mb, block_mb)
             yield self._timed(duration)
+            if self.obs is not None:
+                self.obs.on_op(
+                    drive_index,
+                    "read",
+                    read_start,
+                    duration,
+                    tape_id=tape_id,
+                    block_id=entry.block_id,
+                    position_mb=entry.position_mb,
+                    detail="retry",
+                )
             attempts += 1
             fault = self.faults.read_fault(tape_id, entry.block_id)
             if fault is None:
-                self._deliver(entry, duration)
+                self._deliver(
+                    entry,
+                    duration,
+                    locate_s=self._locate_of(drive, head_before, entry),
+                )
                 return
         # Permanent fault, or the retry budget ran out: this copy is done.
         self.faults.condemn_replica(tape_id, entry.block_id)
@@ -476,6 +607,14 @@ class MultiDriveSimulator:
         """Fail over ``entry``'s requests to a surviving copy, or fail them."""
         if self.faults.surviving_replicas(entry.block_id):
             self.metrics.on_failover(len(entry.requests), self.env.now)
+            if self.obs is not None:
+                self.obs.event(
+                    self.env.now,
+                    "failover",
+                    block_id=entry.block_id,
+                    requests=len(entry.requests),
+                )
+                self.obs.on_requeue(entry.requests, self.env.now, "failover")
             for request in entry.requests:
                 self.pending.append(request)
             self._wake_idle_drives()
@@ -486,6 +625,8 @@ class MultiDriveSimulator:
     def _fail_request(self, request: Request) -> None:
         """Permanently fail ``request`` (keeps a closed population going)."""
         self.metrics.on_request_failed(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_failed(request, self.env.now)
         if self.source.is_closed:
             replacement = self.source.on_completion(self.env.now)
             if replacement is not None:
@@ -494,6 +635,8 @@ class MultiDriveSimulator:
     def _expire_request(self, request: Request) -> None:
         """Expire ``request`` (keeps a closed population going)."""
         self.metrics.on_expired(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_expired(request, self.env.now)
         if self.source.is_closed:
             replacement = self.source.on_completion(self.env.now)
             if replacement is not None:
@@ -507,6 +650,8 @@ class MultiDriveSimulator:
     def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
         """Return un-read sweep entries to the shared pending list."""
         for entry in entries:
+            if self.obs is not None:
+                self.obs.on_requeue(entry.requests, self.env.now, "drive-repair")
             for request in entry.requests:
                 self.pending.append(request)
         self._wake_idle_drives()
@@ -533,6 +678,13 @@ class MultiDriveSimulator:
             self.qos.on_fault()
         repair_s = self.faults.begin_repair(drive_index, failure_start)
         self.metrics.on_drive_repair(failure_start, repair_s)
+        if self.obs is not None:
+            self.obs.event(
+                failure_start, "drive-failure", drive=drive_index, repair_s=repair_s
+            )
+            self.obs.on_op(
+                drive_index, "repair", failure_start, repair_s, detail="drive-failure"
+            )
         mounted = drive.mounted_id
         drive.force_unload()
         if mounted is not None and self.claims.get(mounted) == drive_index:

@@ -37,6 +37,7 @@ from ..faults.injector import FaultInjector
 from ..faults.masking import FaultMaskedCatalog
 from ..faults.retry import RetryPolicy
 from ..layout.catalog import BlockCatalog
+from ..obs.tracer import Tracer
 from ..qos.manager import QoSManager
 from ..tape.jukebox import Jukebox
 from ..workload.requests import Request
@@ -59,10 +60,21 @@ class JukeboxSimulator:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
         qos: Optional[QoSManager] = None,
+        obs: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.jukebox = jukebox
         self.qos = qos
+        #: Optional structured tracer (see :mod:`repro.obs`).  Every
+        #: call site is guarded, so ``obs=None`` adds no work and runs
+        #: stay bit-identical to an untraced build.
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(lambda: env.now)
+            if qos is not None:
+                qos.obs = obs
+            if faults is not None:
+                faults.obs = obs
         if qos is not None:
             # Starvation guard (when configured) intercepts only the
             # major reschedule; every other scheduler call delegates.
@@ -107,6 +119,17 @@ class JukeboxSimulator:
             self.oplog.append(
                 Operation(kind=kind, start_s=start_s, duration_s=duration_s, **where)
             )
+        if self.obs is not None:
+            self.obs.on_op(
+                0,
+                kind.value,
+                start_s,
+                duration_s,
+                tape_id=where.get("tape_id"),
+                block_id=where.get("block_id"),
+                position_mb=where.get("position_mb"),
+                detail=where.get("detail"),
+            )
 
     # ------------------------------------------------------------------
     # Request intake
@@ -114,6 +137,8 @@ class JukeboxSimulator:
     def submit(self, request: Request) -> None:
         """A request arrives: incremental-schedule it or defer it."""
         self.metrics.on_arrival(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_arrival(request, self.env.now)
         if self.qos is not None and not self.qos.admit(
             request, len(self.context.pending)
         ):
@@ -212,6 +237,14 @@ class JukeboxSimulator:
                 for entry in decision.entries:
                     self._resolve_replica_failure(entry)
                 continue
+            if self.obs is not None:
+                self.obs.on_decision(
+                    self.env.now,
+                    0,
+                    self.scheduler.name,
+                    decision,
+                    len(context.pending),
+                )
 
             # Step 2: switch tapes if necessary.  The service list exists
             # during the switch so arriving requests can be inserted.
@@ -234,6 +267,15 @@ class JukeboxSimulator:
                     self.metrics.on_tape_switch(self.env.now)
                     self._log(
                         OpKind.SWITCH, switch_start, duration, tape_id=decision.tape_id
+                    )
+                if self.obs is not None:
+                    self.obs.on_exchange(
+                        (
+                            request
+                            for entry in decision.entries
+                            for request in entry.requests
+                        ),
+                        self.env.now,
                     )
 
             # Step 3: execute the service list as one sweep.
@@ -266,6 +308,7 @@ class JukeboxSimulator:
                             continue
                         entry.requests[:] = live
                 read_start = self.env.now
+                head_before = self.jukebox.head_mb if self.obs is not None else 0.0
                 duration = self.jukebox.access(entry.position_mb, block_mb)
                 yield self._timed(duration)
                 self._log(
@@ -283,7 +326,9 @@ class JukeboxSimulator:
                 )
                 if fault is None:
                     service.finish_in_flight()
-                    self._deliver(entry, duration)
+                    self._deliver(
+                        entry, duration, locate_s=self._locate_of(head_before, entry)
+                    )
                 else:
                     yield from self._recover_read(entry, fault)
                     service.finish_in_flight()
@@ -298,10 +343,27 @@ class JukeboxSimulator:
     # ------------------------------------------------------------------
     # Completion and fault recovery
     # ------------------------------------------------------------------
-    def _deliver(self, entry: ServiceEntry, service_s: float) -> None:
+    def _locate_of(self, head_before_mb: float, entry: ServiceEntry) -> float:
+        """Locate component of the access that just served ``entry``.
+
+        ``DriveTimingModel.locate`` is pure (and memoized), so this
+        recomputes the exact figure the drive charged without touching
+        any simulation state.  Only called when a tracer is attached.
+        """
+        if self.obs is None:
+            return 0.0
+        return self.jukebox.timing.locate(head_before_mb, entry.position_mb)
+
+    def _deliver(
+        self, entry: ServiceEntry, service_s: float, locate_s: float = 0.0
+    ) -> None:
         """Complete every request coalesced onto a successful read."""
         for request in entry.requests:
             self.metrics.on_completion(request, self.env.now, service_s=service_s)
+            if self.obs is not None:
+                self.obs.on_complete(
+                    request, self.env.now, locate_s, service_s - locate_s
+                )
             if self.on_request_complete is not None:
                 self.on_request_complete(request, self.env.now)
             if self.source.is_closed:
@@ -314,6 +376,8 @@ class JukeboxSimulator:
         tape_id = self.jukebox.mounted_id
         block_mb = self.context.catalog.block_mb
         attempts = 1
+        if self.obs is not None:
+            self.obs.on_fault(entry.requests, self.env.now)
         while True:
             self.metrics.on_fault(fault.kind, self.env.now)
             if self.qos is not None:
@@ -335,6 +399,14 @@ class JukeboxSimulator:
                 break
             backoff_s = self.retry.backoff_s(attempts - 1)
             self.metrics.on_retry(self.env.now)
+            if self.obs is not None:
+                self.obs.event(
+                    self.env.now,
+                    "retry",
+                    drive=0,
+                    block_id=entry.block_id,
+                    attempt=attempts,
+                )
             if backoff_s > 0:
                 backoff_start = self.env.now
                 yield backoff_s
@@ -346,6 +418,7 @@ class JukeboxSimulator:
                     block_id=entry.block_id,
                 )
             read_start = self.env.now
+            head_before = self.jukebox.head_mb if self.obs is not None else 0.0
             duration = self.jukebox.access(entry.position_mb, block_mb)
             yield self._timed(duration)
             self._log(
@@ -360,7 +433,9 @@ class JukeboxSimulator:
             attempts += 1
             fault = self.faults.read_fault(tape_id, entry.block_id)
             if fault is None:
-                self._deliver(entry, duration)
+                self._deliver(
+                    entry, duration, locate_s=self._locate_of(head_before, entry)
+                )
                 return
         # Permanent fault, or the retry budget ran out: this copy is done.
         self.faults.condemn_replica(tape_id, entry.block_id)
@@ -370,6 +445,15 @@ class JukeboxSimulator:
         """Fail over ``entry``'s requests to a surviving copy, or fail them."""
         if self.faults.surviving_replicas(entry.block_id):
             self.metrics.on_failover(len(entry.requests), self.env.now)
+            if self.obs is not None:
+                self.obs.event(
+                    self.env.now,
+                    "failover",
+                    drive=0,
+                    block_id=entry.block_id,
+                    requests=len(entry.requests),
+                )
+                self.obs.on_requeue(entry.requests, self.env.now, "failover")
             for request in entry.requests:
                 self.context.pending.append(request)
         else:
@@ -379,6 +463,8 @@ class JukeboxSimulator:
     def _fail_request(self, request: Request) -> None:
         """Permanently fail ``request`` (keeps a closed population going)."""
         self.metrics.on_request_failed(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_failed(request, self.env.now)
         if self.source.is_closed:
             replacement = self.source.on_completion(self.env.now)
             if replacement is not None:
@@ -387,6 +473,8 @@ class JukeboxSimulator:
     def _expire_request(self, request: Request) -> None:
         """Expire ``request`` (keeps a closed population going)."""
         self.metrics.on_expired(request, self.env.now)
+        if self.obs is not None:
+            self.obs.on_expired(request, self.env.now)
         if self.source.is_closed:
             replacement = self.source.on_completion(self.env.now)
             if replacement is not None:
@@ -402,6 +490,8 @@ class JukeboxSimulator:
     def _requeue_entries(self, entries: List[ServiceEntry]) -> None:
         """Return un-read sweep entries to the pending list (no failover)."""
         for entry in entries:
+            if self.obs is not None:
+                self.obs.on_requeue(entry.requests, self.env.now, "drive-repair")
             for request in entry.requests:
                 self.context.pending.append(request)
 
@@ -473,6 +563,10 @@ class JukeboxSimulator:
             self.qos.on_fault()
         repair_s = self.faults.begin_repair(0, failure_start)
         self.metrics.on_drive_repair(failure_start, repair_s)
+        if self.obs is not None:
+            self.obs.event(
+                failure_start, "drive-failure", drive=0, repair_s=repair_s
+            )
         self.jukebox.unload_for_repair()
         self._log(OpKind.REPAIR, failure_start, repair_s, detail="drive-failure")
         yield repair_s

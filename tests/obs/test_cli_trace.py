@@ -1,0 +1,211 @@
+"""The ``trace`` CLI, campaign ``--trace-dir`` capture, and the tools."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent.parent / "tools"
+
+TRACE_BASE = [
+    "trace", "--tapes", "5", "--queue", "10", "--horizon", "20000",
+    "--seed", "4",
+]
+
+
+class TestTraceCommand:
+    def test_prints_summary_blocks(self, capsys):
+        from repro.cli import main
+
+        assert main(TRACE_BASE) == 0
+        out = capsys.readouterr().out
+        assert "where the time went" in out
+        assert "= mean response" in out
+        assert "reconciliation:" in out
+        assert "outcomes" in out
+        assert "scheduler decisions" in out
+
+    def test_reconciliation_line_agrees_with_itself(self, capsys):
+        from repro.cli import main
+
+        assert main(TRACE_BASE) == 0
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if l.startswith("reconciliation:")
+        )
+        # "... sum of phase means X s vs mean response Y s over N ..."
+        pieces = line.split()
+        sum_s = float(pieces[pieces.index("means") + 1])
+        mean_s = float(pieces[pieces.index("response") + 1])
+        assert sum_s == pytest.approx(mean_s, abs=1e-2)
+
+    def test_writes_all_three_exports(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.obs import TraceSummary, parse_jsonl, validate_chrome_trace
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        summary = tmp_path / "summary.json"
+        assert main(
+            TRACE_BASE
+            + [
+                "--out", str(chrome),
+                "--jsonl", str(jsonl),
+                "--summary-json", str(summary),
+            ]
+        ) == 0
+        validate_chrome_trace(json.loads(chrome.read_text()))
+        parse_jsonl(jsonl.read_text().splitlines())
+        rebuilt = TraceSummary.from_dict(json.loads(summary.read_text()))
+        assert rebuilt.completed > 0
+        capsys.readouterr()
+
+    def test_fault_knobs_produce_recovery_events(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            TRACE_BASE
+            + ["--replicas", "2", "--media-error-rate", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "--- events ---" in out
+        assert "retry" in out
+
+    def test_qos_knobs_are_accepted(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            TRACE_BASE + ["--deadline", "3000", "--starvation-age", "5000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation:" in out
+
+
+class TestCampaignTraceDir:
+    def test_run_captures_trace_per_executed_point(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.obs import validate_chrome_trace
+
+        cache = tmp_path / "cache"
+        traces = tmp_path / "traces"
+        argv = [
+            "run", "--tapes", "5", "--queue", "10", "--horizon", "20000",
+            "--cache-dir", str(cache), "--trace-dir", str(traces),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        dumped = sorted(traces.glob("*.trace.json"))
+        assert len(dumped) == 1
+        validate_chrome_trace(json.loads(dumped[0].read_text()))
+        summaries = sorted(traces.glob("*.summary.json"))
+        assert len(summaries) == 1
+
+        # A cache hit re-serves the result without re-running, so no new
+        # trace appears (tracing only observes actual executions).
+        before = {path.name for path in traces.iterdir()}
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert {path.name for path in traces.iterdir()} == before
+
+    def test_traced_point_result_is_bit_identical(self, tmp_path):
+        from repro.campaign import Campaign
+        from repro.experiments import ExperimentConfig
+        from repro.service.metrics import report_digest
+
+        config = ExperimentConfig(
+            tape_count=5, queue_length=10, horizon_s=20_000.0
+        )
+        plain = Campaign(jobs=1).submit([config]).require(config)
+        traced = (
+            Campaign(jobs=1, trace_dir=str(tmp_path / "traces"))
+            .submit([config])
+            .require(config)
+        )
+        assert report_digest(plain.report) == report_digest(traced.report)
+
+
+def run_tool(script, *argv):
+    return subprocess.run(
+        [sys.executable, str(TOOLS_DIR / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestTraceDiffTool:
+    @pytest.fixture()
+    def summaries(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = []
+        for index, scheduler in enumerate(("fifo", "dynamic-max-requests")):
+            path = tmp_path / f"{index}.summary.json"
+            assert main(
+                TRACE_BASE
+                + ["--scheduler", scheduler, "--summary-json", str(path)]
+            ) == 0
+            capsys.readouterr()
+            paths.append(str(path))
+        return paths
+
+    def test_diff_renders_phase_table(self, summaries):
+        completed = run_tool("trace_diff.py", *summaries)
+        assert completed.returncode == 0, completed.stderr
+        assert "mean seconds per phase" in completed.stdout
+        assert "= mean response" in completed.stdout
+        assert "outcomes" in completed.stdout
+
+    def test_threshold_gates_regressions(self, summaries):
+        identical = run_tool(
+            "trace_diff.py", summaries[0], summaries[0], "--threshold", "0.1"
+        )
+        assert identical.returncode == 0, identical.stderr
+        assert "OK" in identical.stderr
+        moved = run_tool(
+            "trace_diff.py", summaries[0], summaries[1], "--threshold", "0.001"
+        )
+        assert moved.returncode == 1
+        assert "FAIL" in moved.stderr
+
+
+class TestCheckLinksTool:
+    def test_repo_docs_are_clean(self):
+        completed = run_tool("check_links.py")
+        assert completed.returncode == 0, completed.stderr
+        assert "0 broken links" in completed.stdout
+
+    def test_detects_broken_target_and_anchor(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_links", TOOLS_DIR / "check_links.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Title\n\n[gone](missing.md) [bad](page.md#nope) "
+            "[ok](page.md#title)\n"
+        )
+        problems = module.check_file(page, tmp_path, {})
+        assert len(problems) == 2
+        assert any("missing target" in p for p in problems)
+        assert any("missing anchor" in p for p in problems)
+
+    def test_github_slugging(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_links", TOOLS_DIR / "check_links.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        seen = {}
+        assert module.github_slug("Tracing a run", seen) == "tracing-a-run"
+        assert module.github_slug("`repro.obs` — API", seen) == "reproobs--api"
+        assert module.github_slug("Tracing a run", seen) == "tracing-a-run-1"

@@ -1,0 +1,113 @@
+"""Unit tests of the span model: marks, conservation, terminal rules."""
+
+import pytest
+
+from repro.obs import OUTCOMES, PHASES, MetricRegistry
+from repro.obs.spans import DriveSpan, RequestTrace, TraceEvent
+
+
+class TestRequestTrace:
+    def make(self, arrival=100.0):
+        return RequestTrace(request_id=1, block_id=7, arrival_s=arrival)
+
+    def test_mark_starts_at_arrival(self):
+        trace = self.make(arrival=42.0)
+        trace.advance("queue", 50.0)
+        assert trace.phases == {"queue": 8.0}
+        assert trace.spans == [("queue", 42.0, 50.0)]
+
+    def test_spans_tile_without_gaps(self):
+        trace = self.make(arrival=0.0)
+        trace.advance("queue", 10.0)
+        trace.advance("sweep-wait", 25.0)
+        trace.advance("locate", 30.0)
+        trace.advance("read", 33.5)
+        for (_, _, end), (_, start, _) in zip(trace.spans, trace.spans[1:]):
+            assert end == start
+        assert trace.phase_total() == pytest.approx(33.5)
+
+    def test_zero_duration_advance_records_nothing(self):
+        trace = self.make()
+        trace.advance("queue", 100.0)
+        assert trace.phases == {}
+        assert trace.spans == []
+
+    def test_advance_backwards_beyond_epsilon_raises(self):
+        trace = self.make()
+        trace.advance("queue", 200.0)
+        with pytest.raises(ValueError, match="before mark"):
+            trace.advance("read", 199.0)
+
+    def test_advance_within_epsilon_clamps_to_mark(self):
+        trace = self.make()
+        trace.advance("queue", 200.0)
+        trace.advance("locate", 200.0 - 1e-9)  # float drift, not an error
+        trace.advance("read", 210.0)
+        assert trace.phase_total() == pytest.approx(110.0)
+
+    def test_wait_phase_transitions(self):
+        trace = self.make()
+        assert trace.wait_phase() == "queue"
+        trace.scheduled = True
+        assert trace.wait_phase() == "sweep-wait"
+        trace.in_recovery = True
+        assert trace.wait_phase() == "recovery"
+
+    def test_finish_attributes_residual_to_wait_phase(self):
+        trace = self.make(arrival=0.0)
+        trace.scheduled = True
+        trace.finish("complete", 40.0)
+        assert trace.phases == {"sweep-wait": 40.0}
+        assert trace.outcome == "complete"
+        assert trace.response_s == pytest.approx(40.0)
+        assert trace.is_terminal
+
+    def test_double_terminal_raises(self):
+        trace = self.make()
+        trace.finish("shed", 100.0)
+        with pytest.raises(RuntimeError, match="already terminal"):
+            trace.finish("complete", 200.0)
+
+    def test_unknown_outcome_raises(self):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            self.make().finish("vanished", 100.0)
+
+    def test_taxonomies_are_stable(self):
+        assert PHASES == (
+            "queue", "exchange", "sweep-wait", "locate", "read", "recovery"
+        )
+        assert OUTCOMES == ("complete", "shed", "expired", "failed")
+
+
+class TestDriveSpanAndEvent:
+    def test_drive_span_end(self):
+        span = DriveSpan(drive=0, kind="read", start_s=10.0, duration_s=2.5)
+        assert span.end_s == pytest.approx(12.5)
+
+    def test_event_attrs_round_trip(self):
+        event = TraceEvent(
+            time_s=5.0, kind="failover", attrs=(("a", 1), ("b", "x"))
+        )
+        assert event.attr_dict() == {"a": 1, "b": "x"}
+
+
+class TestMetricRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricRegistry()
+        registry.inc("reads")
+        registry.inc("reads", by=2)
+        registry.set_gauge("pending", 7.0)
+        assert registry.count("reads") == 3
+        assert registry.count("absent") == 0
+        assert registry.gauge("pending") == 7.0
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"reads": 3}
+        assert snapshot["gauges"] == {"pending": 7.0}
+
+    def test_iteration_is_sorted(self):
+        registry = MetricRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.inc(name)
+        assert [name for name, _ in registry.counters()] == [
+            "alpha", "mid", "zeta"
+        ]

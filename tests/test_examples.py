@@ -16,6 +16,7 @@ EXAMPLE_ARGS = {
     "video_archive.py": ["15000"],
     "hierarchical_storage.py": ["20000"],
     "scheduler_shootout.py": ["8000", "20"],
+    "trace_demo.py": ["20000"],
 }
 
 

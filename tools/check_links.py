@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Check relative Markdown links and anchors in the repo's docs.
+
+Scans ``README.md`` and every ``docs/*.md`` for inline links
+(``[text](target)``), and verifies:
+
+* relative file targets exist (resolved against the linking file);
+* ``#anchor`` fragments — both same-file and cross-file — match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to hyphens, ``-N`` suffix for
+  duplicates);
+* absolute-URL targets (``http(s)://``, ``mailto:``) are skipped — the
+  checker is offline by design.
+
+Exit code is the number of broken links (0 = all good).  Run from the
+repository root::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Inline Markdown links; deliberately simple (no reference-style links
+#: in this repo, no nested brackets in link text we care about).
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for ``heading`` (dedup via ``seen``)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors defined in ``path``."""
+    seen: Dict[str, int] = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every inline link in ``path``."""
+    links = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)  # ignore inline code spans
+        for match in LINK_RE.finditer(stripped):
+            links.append((number, match.group(2)))
+    return links
+
+
+def check_file(path: Path, root: Path, anchor_cache: Dict[Path, set]) -> List[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems = []
+    for number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{number}: missing target {target!r}"
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                continue  # anchors into non-Markdown files aren't checked
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors_of(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                problems.append(
+                    f"{path.relative_to(root)}:{number}: "
+                    f"missing anchor {target!r}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    anchor_cache: Dict[Path, set] = {}
+    problems: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            continue
+        checked += 1
+        problems.extend(check_file(path, root, anchor_cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} files: {len(problems)} broken links")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare two trace summaries produced by the observability layer.
+
+Inputs are summary JSON files written by ``tape-jukebox trace
+--summary-json``, by a campaign ``--trace-dir`` capture
+(``<digest>.summary.json``), or by ``TraceSummary.to_dict`` directly.
+The tool prints where the time went in each run and how it moved
+between them — which phase absorbed a regression, whether outcomes
+shifted (more sheds, fewer completions), and how tape heat changed.
+
+Run from the repository root::
+
+    python tools/trace_diff.py before.summary.json after.summary.json
+
+With ``--threshold PCT`` the exit code turns non-zero when the mean
+response time moved by more than PCT percent in either direction,
+which makes the tool usable as a CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:  # allow running without PYTHONPATH=src
+    from repro.obs import TraceSummary
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import TraceSummary
+
+
+def load_summary(path: str) -> TraceSummary:
+    """Read and validate one summary JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return TraceSummary.from_dict(payload)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _delta(before: float, after: float) -> str:
+    diff = after - before
+    if before > 1e-9:
+        return f"{diff:+.3f} ({diff / before:+.1%})"
+    return f"{diff:+.3f}"
+
+
+def render_diff(before: TraceSummary, after: TraceSummary) -> str:
+    """A human-readable comparison of two summaries."""
+    lines = []
+    phases = sorted(
+        set(before.phase_means) | set(after.phase_means),
+        key=lambda phase: -(
+            after.phase_means.get(phase, 0.0) - before.phase_means.get(phase, 0.0)
+        ),
+    )
+    lines.append("--- mean seconds per phase (completed requests) ---")
+    width = max([len("= mean response")] + [len(p) for p in phases])
+    header = f"{'phase':>{width}}  {'before':>10}  {'after':>10}  delta"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for phase in phases:
+        a = before.phase_means.get(phase, 0.0)
+        b = after.phase_means.get(phase, 0.0)
+        lines.append(
+            f"{phase:>{width}}  {_fmt(a):>10}  {_fmt(b):>10}  {_delta(a, b)}"
+        )
+    lines.append(
+        f"{'= mean response':>{width}}  {_fmt(before.mean_response_s):>10}  "
+        f"{_fmt(after.mean_response_s):>10}  "
+        f"{_delta(before.mean_response_s, after.mean_response_s)}"
+    )
+    lines.append("")
+    lines.append("--- outcomes ---")
+    for outcome in sorted(set(before.outcomes) | set(after.outcomes)):
+        a = before.outcomes.get(outcome, 0)
+        b = after.outcomes.get(outcome, 0)
+        lines.append(f"{outcome:>12}  {a:>6} -> {b:<6} ({b - a:+d})")
+    lines.append(
+        f"{'measured':>12}  {before.completed:>6} -> {after.completed:<6} "
+        f"({after.completed - before.completed:+d})"
+    )
+    moved = []
+    for tape in sorted(set(before.tape_heat) | set(after.tape_heat)):
+        a = before.tape_heat.get(tape, 0)
+        b = after.tape_heat.get(tape, 0)
+        if a != b:
+            moved.append((abs(b - a), tape, a, b))
+    if moved:
+        lines.append("")
+        lines.append("--- tape heat shifts (delivering reads) ---")
+        moved.sort(key=lambda item: (-item[0], item[1]))
+        for _, tape, a, b in moved[:10]:
+            lines.append(f"{'tape ' + str(tape):>12}  {a:>6} -> {b:<6} ({b - a:+d})")
+    changed_counters = []
+    for name in sorted(set(before.counters) | set(after.counters)):
+        a = before.counters.get(name, 0)
+        b = after.counters.get(name, 0)
+        if a != b:
+            changed_counters.append((name, a, b))
+    if changed_counters:
+        lines.append("")
+        lines.append("--- counters that moved ---")
+        name_width = max(len(name) for name, _, _ in changed_counters)
+        for name, a, b in changed_counters:
+            lines.append(f"{name:>{name_width}}  {a:>8} -> {b:<8} ({b - a:+d})")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two trace-summary JSON files"
+    )
+    parser.add_argument("before", help="baseline summary JSON")
+    parser.add_argument("after", help="candidate summary JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="PCT",
+        help="exit non-zero when |mean response delta| exceeds PCT percent",
+    )
+    args = parser.parse_args(argv)
+    before = load_summary(args.before)
+    after = load_summary(args.after)
+    print(render_diff(before, after))
+    if args.threshold is not None and before.mean_response_s:
+        shift = abs(after.mean_response_s - before.mean_response_s)
+        fraction = shift / before.mean_response_s
+        if fraction > args.threshold / 100.0:
+            print(
+                f"FAIL: mean response moved {fraction:.1%} "
+                f"(threshold {args.threshold:g}%)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: mean response moved {fraction:.1%} "
+            f"(threshold {args.threshold:g}%)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
