@@ -6,16 +6,27 @@ config (two-character sharding keeps directories small on big sweeps).
 Files are the same versioned documents :mod:`repro.experiments.store`
 writes, so a cache entry can also be inspected or loaded by hand.
 
-Every read is defensive: a missing file, unparsable JSON, a format or
-schema-version mismatch, or a stored config that does not equal the
-requested one (hash collision or salt misuse) all count as a miss —
-the point is then re-simulated and the entry overwritten.
+Every read is defensive: a missing file, a format or schema-version
+mismatch, or a stored config that does not equal the requested one
+(hash collision or salt misuse) all count as a miss — the point is
+then re-simulated and the entry overwritten.  An entry that fails to
+*parse* (torn write, chaos-injected corruption, bit rot) is not
+silently overwritten: it is quarantined by renaming to
+``<digest>.json.corrupt`` so post-mortems keep the evidence, counted
+on :attr:`ResultCache.quarantined`, and then treated as a miss.
+
+Writes are crash-safe (write to ``.<name>.<pid>.tmp``, then atomic
+``os.replace``), which means a writer killed between the two steps
+leaves an orphaned temp file behind.  :meth:`ResultCache.clean` sweeps
+those; construction runs it automatically with a one-hour age guard so
+a *concurrently running* writer's temp file is never swept.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -24,13 +35,44 @@ from ..experiments.runner import ExperimentResult
 from ..experiments.store import result_from_dict, result_to_dict
 from .hashing import CODE_VERSION, config_digest
 
+#: Age (seconds) a temp file must reach before the construction-time
+#: sweep removes it; explicit :meth:`ResultCache.clean` calls use 0.
+ORPHAN_TMP_AGE_S = 3600.0
+
 
 class ResultCache:
-    """Content-addressed store of :class:`ExperimentResult` documents."""
+    """Content-addressed store of :class:`ExperimentResult` documents.
 
-    def __init__(self, root: Union[str, Path], salt: str = CODE_VERSION) -> None:
+    Args:
+        root: cache directory (created lazily on first write).
+        salt: code-version salt mixed into every key.
+        metrics: optional :class:`~repro.obs.MetricRegistry`; the cache
+            counts ``campaign.cache.quarantined`` and
+            ``campaign.cache.orphans_removed`` into it.
+        sweep_orphans: run :meth:`clean` (with the age guard) on
+            construction.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        salt: str = CODE_VERSION,
+        metrics=None,
+        sweep_orphans: bool = True,
+    ) -> None:
         self.root = Path(root)
         self.salt = salt
+        self.metrics = metrics
+        #: Corrupt entries renamed to ``*.corrupt`` by this instance.
+        self.quarantined = 0
+        #: Orphaned temp files removed by this instance.
+        self.orphans_removed = 0
+        if sweep_orphans and self.root.exists():
+            self.clean(max_age_s=ORPHAN_TMP_AGE_S)
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, by)
 
     def path_for(self, config: ExperimentConfig) -> Path:
         """Where ``config``'s result lives (whether or not it exists)."""
@@ -41,15 +83,32 @@ class ResultCache:
         """The cached result for ``config``, or ``None`` on any miss."""
         path = self.path_for(config)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
             result = result_from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, corrupt, stale-version, or stale-schema entries
-            # are silently treated as misses and later overwritten.
+        except (ValueError, KeyError, TypeError):
+            # The file exists but cannot be trusted: quarantine it so
+            # chaos runs (and real incidents) leave evidence instead of
+            # silently overwriting, then treat it as a miss.
+            self.quarantine(path)
             return None
         if result.config != config:
             return None
         return result
+
+    def quarantine(self, path: Path) -> Optional[Path]:
+        """Rename a damaged entry to ``<name>.corrupt``; None on failure."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        self._inc("campaign.cache.quarantined")
+        return target
 
     def put(self, result: ExperimentResult) -> Path:
         """Store ``result`` (atomically) and return its path."""
@@ -68,6 +127,38 @@ class ResultCache:
             return True
         except FileNotFoundError:
             return False
+
+    def clean(self, max_age_s: float = 0.0) -> int:
+        """Remove orphaned ``.<name>.<pid>.tmp`` files; returns the count.
+
+        A writer that crashed between ``write_text`` and ``os.replace``
+        leaves its temp file behind forever; nothing ever reads it.
+        ``max_age_s`` skips files modified more recently than that —
+        the construction-time sweep uses an hour so a live writer in
+        another process is never raced.
+        """
+        if not self.root.exists():
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age_s
+        for temp in self.root.glob("*/.*.tmp"):
+            try:
+                if max_age_s > 0.0 and temp.stat().st_mtime > cutoff:
+                    continue
+                temp.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced by another cleaner
+                continue
+        self.orphans_removed += removed
+        if removed:
+            self._inc("campaign.cache.orphans_removed", removed)
+        return removed
+
+    def corrupt_entries(self) -> list:
+        """Paths of quarantined (``*.corrupt``) entries, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.corrupt"))
 
     def __len__(self) -> int:
         """Number of stored entries (walks the shard directories)."""

@@ -1,39 +1,58 @@
-"""The campaign engine: dedup, cache, fan out, isolate failures.
+"""The campaign engine: dedup, cache, fan out, isolate, survive.
 
 :meth:`Campaign.submit` is the single public execution surface every
 sweep, figure, and replication plan compiles down to.  Execution order
 is an implementation detail; results are keyed by config, and a given
 config's result is bit-identical whether it ran serially, in a worker
-process, or came from the cache — workers receive the full config
-(seed included) and run the exact same :func:`run_experiment`.
+process, on a retry after its first worker was killed, or came from
+the cache — workers receive the full config (seed included) and run
+the exact same :func:`run_experiment`.
 
-Failure isolation: one crashed point produces a :class:`PointFailure`
-record instead of killing the batch.  Exceptions raised *inside* a
-worker are caught there and shipped back; a hard worker death (signal,
-``os._exit``) breaks the pool, in which case the still-unfinished
-points are re-run serially in-process, each under its own try/except.
+Failure handling is layered:
+
+* One crashed point produces a :class:`PointFailure` record instead of
+  killing the batch (exceptions raised *inside* a worker are caught
+  there and shipped back).
+* A hard worker death (signal, ``os._exit``) or a wedged worker is
+  detected by the :class:`~repro.campaign.supervisor.SupervisedPool`,
+  which kills/replaces the worker and requeues the point with bounded
+  exponential backoff — transient failures retry, deterministic
+  exceptions do not (see
+  :data:`~repro.campaign.supervisor.TRANSIENT_ERRORS`).
+* With ``journal_path`` set, every point lifecycle event is appended
+  durably to a ``repro-journal/1`` JSONL file; after a crash or
+  Ctrl-C, ``submit(configs, resume=True)`` skips journaled-done points
+  (served from the cache), requeues the ones the dead process left in
+  flight, and carries attempt counts forward.
+* ``abort_after`` consecutive point failures trip a breaker that stops
+  the campaign loudly (remaining points become ``CampaignAborted``
+  failure records) instead of grinding through a doomed grid.
+
+Every reliability event (retry, worker kill, resume, abort, quarantined
+cache entry) is counted in a :class:`~repro.obs.MetricRegistry` exposed
+as :attr:`Campaign.metrics`.
 """
 
 from __future__ import annotations
 
-import contextlib
-import cProfile
 import os
-import signal
-import threading
+import sys
 import time
-import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import ExperimentResult, run_experiment
+from ..obs import MetricRegistry
 from ..rng import derive_seed
 from .cache import ResultCache
+from .execution import PointTimeoutError, _execute_point, _wall_clock_limit
 from .hashing import CODE_VERSION, config_digest
+from .journal import CampaignJournal, JournalState
 from .progress import ProgressCallback, ProgressEvent
+from .supervisor import SupervisedPool, SupervisorHooks, is_transient_error
 
 __all__ = [
     "Campaign",
@@ -45,43 +64,6 @@ __all__ = [
 ]
 
 
-class PointTimeoutError(Exception):
-    """A campaign point exceeded its wall-clock budget."""
-
-
-@contextlib.contextmanager
-def _wall_clock_limit(timeout_s: Optional[float]):
-    """Raise :class:`PointTimeoutError` after ``timeout_s`` real seconds.
-
-    Implemented with ``SIGALRM``/``setitimer``, which interrupts a hung
-    simulation loop without cooperation from the running code.  Pool
-    tasks execute on each worker process's main thread, so the signal
-    lands in the right place; on platforms without ``setitimer``
-    (Windows) or off the main thread the limit degrades to a no-op
-    rather than failing the point.
-    """
-    if (
-        timeout_s is None
-        or not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise PointTimeoutError(
-            f"campaign point exceeded {timeout_s:g}s wall-clock"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 @dataclass(frozen=True)
 class PointFailure:
     """Error record of one failed campaign point."""
@@ -90,6 +72,9 @@ class PointFailure:
     error: str
     message: str
     traceback: str = ""
+    #: Execution attempts consumed (0 when the point never started,
+    #: e.g. abandoned by an abort).
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -102,6 +87,14 @@ class CampaignStats:
     executed: int
     failures: int
     duration_s: float
+    #: Transient-failure retries performed (attempts beyond the first).
+    retried: int = 0
+    #: Cache hits that a resume's journal had already marked done.
+    resumed_done: int = 0
+    #: The consecutive-failure breaker stopped the campaign early.
+    aborted: bool = False
+    #: The campaign was interrupted (stats recorded before re-raise).
+    interrupted: bool = False
 
     @property
     def hit_fraction(self) -> float:
@@ -129,11 +122,14 @@ class CampaignResult:
         outcomes: Dict[ExperimentConfig, ExperimentResult],
         failures: Dict[ExperimentConfig, PointFailure],
         stats: CampaignStats,
+        journal_path=None,
     ) -> None:
         self.configs: Tuple[ExperimentConfig, ...] = tuple(configs)
         self._outcomes = dict(outcomes)
         self._failures = dict(failures)
         self.stats = stats
+        #: Where this submission journaled (None when journaling is off).
+        self.journal_path = journal_path
 
     @property
     def results(self) -> Tuple[ExperimentResult, ...]:
@@ -178,90 +174,15 @@ class CampaignResult:
         return iter(self.results)
 
 
-def _dump_trace(trace_dir: str, config: ExperimentConfig, tracer) -> None:
-    """Write one executed point's trace artifacts into ``trace_dir``.
-
-    Two files per point, named by config digest: ``<digest>.trace.json``
-    (Chrome trace-event JSON, Perfetto-loadable) and
-    ``<digest>.summary.json`` (:class:`~repro.obs.TraceSummary`).
-    """
-    import json
-
-    from ..obs import TraceSummary, write_chrome_trace
-
-    digest = config_digest(config)[:16]
-    write_chrome_trace(
-        tracer, os.path.join(trace_dir, f"{digest}.trace.json")
-    )
-    summary = TraceSummary.from_tracer(tracer, warmup_s=config.warmup_s)
-    with open(
-        os.path.join(trace_dir, f"{digest}.summary.json"), "w", encoding="utf-8"
-    ) as handle:
-        json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
-
-
-def _execute_point(
-    item: Tuple[
-        int,
-        ExperimentConfig,
-        Callable,
-        Optional[float],
-        Optional[str],
-        Optional[str],
-    ]
-) -> tuple:
-    """Run one point; never raises (errors are shipped back as data).
-
-    When ``profile_dir`` is set the point runs under :mod:`cProfile`
-    and its raw stats are dumped to ``<config_digest[:16]>.prof`` in
-    that directory (the dump happens in the worker process, so profiles
-    work with ``jobs > 1``).  When ``trace_dir`` is set and the runner
-    accepts an ``obs`` keyword (the default :func:`run_experiment`
-    does), the point runs with a :class:`~repro.obs.Tracer` attached
-    and its trace artifacts are dumped there, also worker-side.  Cache
-    hits never reach this function, so every artifact reflects an
-    actual execution.
-    """
-    index, config, runner, timeout_s, profile_dir, trace_dir = item
-    try:
-        tracer = None
-        run = runner
-        if trace_dir is not None:
-            import inspect
-
-            if "obs" in inspect.signature(runner).parameters:
-                from ..obs import Tracer
-
-                tracer = Tracer()
-                run = lambda point: runner(point, obs=tracer)  # noqa: E731
-        with _wall_clock_limit(timeout_s):
-            if profile_dir is None:
-                result = run(config)
-            else:
-                profiler = cProfile.Profile()
-                result = profiler.runcall(run, config)
-        if profile_dir is not None:
-            profiler.dump_stats(
-                os.path.join(profile_dir, f"{config_digest(config)[:16]}.prof")
-            )
-        if tracer is not None:
-            _dump_trace(trace_dir, config, tracer)
-        return (index, "ok", result)
-    except BaseException as exc:  # noqa: BLE001 - isolation is the point
-        return (
-            index,
-            "error",
-            (type(exc).__name__, str(exc), traceback.format_exc()),
-        )
-
-
 class Campaign:
-    """Deduplicating, caching, parallel executor of experiment configs.
+    """Deduplicating, caching, supervised parallel executor of configs.
 
     Args:
         jobs: worker processes; 1 (the default) runs in-process.
-        cache_dir: directory of the content-addressed result cache;
-            ``None`` disables caching.
+        cache_dir: directory of the content-addressed result cache, or
+            a ready :class:`ResultCache` instance; ``None`` disables
+            caching.  Successful points are written to the cache *as
+            they finish*, so a crash loses at most the in-flight work.
         progress: optional per-point callback (see
             :class:`~repro.campaign.progress.ProgressEvent`).
         runner: the function executed per config.  Must be picklable
@@ -269,10 +190,31 @@ class Campaign:
         salt: cache-key code-version salt (see
             :data:`~repro.campaign.hashing.CODE_VERSION`).
         point_timeout_s: wall-clock budget per executed point; a point
-            that exceeds it yields a :class:`PointFailure` (error
+            that exceeds it yields a transient failure (error
             ``PointTimeoutError``) instead of hanging the batch, and —
             like every failure — is never written to the cache.
             ``None`` (the default) leaves points unbounded.
+        journal_path: durable ``repro-journal/1`` JSONL file recording
+            every point lifecycle event.  ``None`` disables journaling.
+            A non-resume submission truncates and restarts the journal.
+        resume: default for :meth:`submit`'s ``resume`` argument.
+        max_attempts: total attempts per point for *transient* failures
+            (worker death, stall, wall-clock timeout).  Deterministic
+            exceptions never retry — rerunning the same seeded
+            simulation would reproduce them.
+        backoff_base_s / backoff_cap_s: exponential retry backoff
+            (``base * 2**(attempt-1)``, capped).
+        abort_after: trip a breaker after this many *consecutive*
+            terminal point failures: remaining points become
+            ``CampaignAborted`` failure records and the journal gets an
+            ``abort`` event.  ``None`` (default) never aborts.
+        metrics: a :class:`~repro.obs.MetricRegistry` to count
+            reliability events into (default: a fresh private one,
+            exposed as :attr:`metrics`).
+        supervisor_options: extra keyword arguments for the
+            :class:`~repro.campaign.supervisor.SupervisedPool`
+            (``heartbeat_s``, ``stall_timeout_s``, ``hang_grace_s``,
+            ``drain_grace_s``, ``poll_s``, ``mp_context``).
         profile_dir: when set, every *executed* point (cache hits are
             exempt) runs under :mod:`cProfile` and dumps its raw stats
             to ``<profile_dir>/<config_digest[:16]>.prof``.  The
@@ -294,6 +236,14 @@ class Campaign:
         runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
         salt: str = CODE_VERSION,
         point_timeout_s: Optional[float] = None,
+        journal_path=None,
+        resume: bool = False,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 30.0,
+        abort_after: Optional[int] = None,
+        metrics: Optional[MetricRegistry] = None,
+        supervisor_options: Optional[dict] = None,
         profile_dir: Optional[str] = None,
         trace_dir: Optional[str] = None,
     ) -> None:
@@ -303,15 +253,34 @@ class Campaign:
             raise ValueError(
                 f"point_timeout_s must be positive, got {point_timeout_s!r}"
             )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        if abort_after is not None and abort_after < 1:
+            raise ValueError(f"abort_after must be >= 1, got {abort_after!r}")
         self.jobs = jobs
         self.point_timeout_s = point_timeout_s
+        self.salt = salt
+        self.journal_path = journal_path
+        self.resume = resume
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.abort_after = abort_after
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.supervisor_options = dict(supervisor_options or {})
         self.profile_dir = profile_dir
         if profile_dir is not None:
             os.makedirs(profile_dir, exist_ok=True)
         self.trace_dir = trace_dir
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
-        self.cache = ResultCache(cache_dir, salt=salt) if cache_dir else None
+        if cache_dir is None:
+            self.cache: Optional[ResultCache] = None
+        elif isinstance(cache_dir, ResultCache):
+            self.cache = cache_dir
+            self.cache.metrics = self.metrics
+        else:
+            self.cache = ResultCache(cache_dir, salt=salt, metrics=self.metrics)
         self.progress = progress
         self.runner = runner
         #: Stats of the most recent :meth:`submit` (None before any).
@@ -334,114 +303,350 @@ class Campaign:
             for index in range(count)
         ]
 
-    def submit(self, configs: Iterable[ExperimentConfig]) -> CampaignResult:
-        """Execute every distinct config and return the keyed results."""
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        configs: Iterable[ExperimentConfig],
+        resume: Optional[bool] = None,
+    ) -> CampaignResult:
+        """Execute every distinct config and return the keyed results.
+
+        Args:
+            resume: adopt the journal's prior state — skip points it
+                marked done (their results come from the cache), requeue
+                the ones it left in flight, and carry attempt counts
+                forward.  ``None`` uses the campaign's default.
+
+        Raises:
+            KeyboardInterrupt: re-raised after a SIGINT/SIGTERM drain;
+                by then finished points are cached, the journal carries
+                an ``interrupted`` event, and a resume hint has been
+                printed to stderr.
+        """
+        resume = self.resume if resume is None else bool(resume)
         submitted = list(configs)
         unique = list(dict.fromkeys(submitted))
         started = time.monotonic()
         outcomes: Dict[ExperimentConfig, ExperimentResult] = {}
         failures: Dict[ExperimentConfig, PointFailure] = {}
-        finished = 0
+        state = _SubmissionState(
+            campaign=self,
+            unique=unique,
+            outcomes=outcomes,
+            failures=failures,
+        )
 
-        def record(kind: str, config: ExperimentConfig) -> None:
-            nonlocal finished
-            finished += 1
-            if self.progress is not None:
-                self.progress(
-                    ProgressEvent(
-                        kind=kind,
-                        config=config,
-                        completed=finished,
-                        total=len(unique),
-                    )
-                )
+        journal: Optional[CampaignJournal] = None
+        prior: Optional[JournalState] = None
+        if self.journal_path is not None:
+            journal = CampaignJournal(self.journal_path, salt=self.salt)
+            if resume and journal.exists():
+                prior = journal.load_state()
+            journal.open(fresh=not resume)
+        state.journal = journal
 
         pending: List[ExperimentConfig] = []
-        hits = 0
+        prior_attempts: Dict[ExperimentConfig, int] = {}
+        requeued_in_flight = 0
+        failed_retried = 0
         for config in unique:
+            digest = config_digest(config, salt=self.salt)
+            state.digests[config] = digest
             cached = self.cache.get(config) if self.cache is not None else None
             if cached is not None:
                 outcomes[config] = cached
-                hits += 1
-                record("hit", config)
+                state.hits += 1
+                self.metrics.inc("campaign.points.cache_hits")
+                if prior is not None and digest in prior.done:
+                    state.resumed_done += 1
+                    self.metrics.inc("campaign.resume.done_skipped")
+                state.record("hit", config)
+                continue
+            attempts = 0
+            if prior is not None:
+                fate = prior.classify(digest)
+                if fate == "done":
+                    # Journal says done but the cache cannot prove it —
+                    # the entry is missing or was quarantined; re-run.
+                    self.metrics.inc("campaign.resume.done_missing_cache")
+                elif fate == "in-flight":
+                    attempts = prior.attempts.get(digest, 0)
+                    journal.record_requeued(digest, attempts, "resume")
+                    requeued_in_flight += 1
+                    self.metrics.inc("campaign.resume.requeued_in_flight")
+                elif fate == "failed":
+                    failed_retried += 1
+                    self.metrics.inc("campaign.resume.failed_retried")
+            pending.append(config)
+            prior_attempts[config] = attempts
+        if journal is not None and resume and prior is not None:
+            journal.record_resume(
+                done=state.resumed_done,
+                in_flight=requeued_in_flight,
+                failed=failed_retried,
+            )
+
+        state.pending = pending
+        hooks = state.hooks()
+        try:
+            if self.jobs > 1 and len(pending) > 1:
+                pool = SupervisedPool(
+                    jobs=self.jobs,
+                    runner=self.runner,
+                    point_timeout_s=self.point_timeout_s,
+                    profile_dir=self.profile_dir,
+                    trace_dir=self.trace_dir,
+                    max_attempts=self.max_attempts,
+                    backoff_base_s=self.backoff_base_s,
+                    backoff_cap_s=self.backoff_cap_s,
+                    metrics=self.metrics,
+                    **self.supervisor_options,
+                )
+                pool.run(
+                    [
+                        (index, config, prior_attempts[config])
+                        for index, config in enumerate(pending)
+                    ],
+                    hooks,
+                )
             else:
-                pending.append(config)
+                self._run_serial(pending, prior_attempts, hooks, state)
+        except KeyboardInterrupt:
+            self.metrics.inc("campaign.interrupts")
+            unfinished = len(unique) - len(outcomes) - len(failures)
+            if journal is not None:
+                journal.record_interrupted(unfinished)
+                print(
+                    f"campaign interrupted: {unfinished} of {len(unique)} "
+                    f"points unfinished; journal at {journal.path} — "
+                    "resubmit with resume=True to continue",
+                    file=sys.stderr,
+                )
+            self.last_stats = self._stats(
+                submitted, unique, state, started, interrupted=True
+            )
+            raise
+        finally:
+            if journal is not None:
+                if journal.broken is not None:
+                    warnings.warn(
+                        f"campaign journal degraded ({journal.broken}); "
+                        "resume information may be incomplete",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                journal.close()
 
-        if self.jobs > 1 and len(pending) > 1:
-            self._run_parallel(pending, outcomes, failures, record)
-        else:
-            for config in pending:
-                self._run_one(config, outcomes, failures, record)
-
-        if self.cache is not None:
-            for config in pending:
-                result = outcomes.get(config)
-                if result is not None:
-                    self.cache.put(result)
-
-        stats = CampaignStats(
-            submitted=len(submitted),
-            unique=len(unique),
-            cache_hits=hits,
-            executed=len(pending),
-            failures=len(failures),
-            duration_s=time.monotonic() - started,
-        )
+        stats = self._stats(submitted, unique, state, started)
         self.last_stats = stats
-        return CampaignResult(unique, outcomes, failures, stats)
+        return CampaignResult(
+            unique,
+            outcomes,
+            failures,
+            stats,
+            journal_path=journal.path if journal is not None else None,
+        )
 
     # ------------------------------------------------------------------
-    def _run_one(self, config, outcomes, failures, record) -> None:
-        _index, status, payload = _execute_point(
-            (
-                0,
-                config,
-                self.runner,
-                self.point_timeout_s,
-                self.profile_dir,
-                self.trace_dir,
-            )
+    def _stats(
+        self, submitted, unique, state, started, interrupted: bool = False
+    ) -> CampaignStats:
+        return CampaignStats(
+            submitted=len(submitted),
+            unique=len(unique),
+            cache_hits=state.hits,
+            executed=len(state.pending),
+            failures=len(state.failures),
+            duration_s=time.monotonic() - started,
+            retried=state.retried,
+            resumed_done=state.resumed_done,
+            aborted=state.aborted,
+            interrupted=interrupted,
         )
-        self._absorb(config, status, payload, outcomes, failures, record)
 
-    def _absorb(self, config, status, payload, outcomes, failures, record) -> None:
-        if status == "ok":
-            outcomes[config] = payload
-            record("done", config)
-        else:
-            error, message, trace = payload
-            failures[config] = PointFailure(
-                config=config, error=error, message=message, traceback=trace
-            )
-            record("error", config)
+    def store(self, config: ExperimentConfig, result: ExperimentResult) -> None:
+        """Write one finished result to the cache, tolerating I/O errors.
 
-    def _run_parallel(self, pending, outcomes, failures, record) -> None:
-        unfinished = set(range(len(pending)))
-        workers = min(self.jobs, len(pending))
+        A full disk must not fail the point — the result is still
+        returned in memory; the miss is counted
+        (``campaign.cache.write_errors``) and warned about.
+        """
+        if self.cache is None:
+            return
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_point,
-                        (
-                            index,
-                            config,
-                            self.runner,
-                            self.point_timeout_s,
-                            self.profile_dir,
-                            self.trace_dir,
-                        ),
-                    ): index
-                    for index, config in enumerate(pending)
-                }
-                for future in as_completed(futures):
-                    index, status, payload = future.result()
-                    unfinished.discard(index)
-                    self._absorb(
-                        pending[index], status, payload, outcomes, failures, record
+            self.cache.put(result)
+        except OSError as error:
+            self.metrics.inc("campaign.cache.write_errors")
+            warnings.warn(
+                f"result cache write failed for {config.describe()}: "
+                f"{error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _run_serial(self, pending, prior_attempts, hooks, state) -> None:
+        """In-process execution with the same retry/abort semantics."""
+        queue = deque(
+            (index, config, prior_attempts[config])
+            for index, config in enumerate(pending)
+        )
+        while queue:
+            index, config, attempts = queue.popleft()
+            attempts += 1
+            hooks.on_start(index, attempts)
+            _index, status, payload = _execute_point(
+                (
+                    index,
+                    config,
+                    self.runner,
+                    self.point_timeout_s,
+                    self.profile_dir,
+                    self.trace_dir,
+                )
+            )
+            if status != "ok" and (
+                is_transient_error(payload[0]) and attempts < self.max_attempts
+            ):
+                hooks.on_retry(index, attempts, payload[0], payload[1])
+                time.sleep(
+                    min(
+                        self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** (attempts - 1)),
                     )
-        except (BrokenProcessPool, OSError):
-            # A worker died hard (signal/os._exit) and took the pool
-            # with it; finish the stragglers serially, each isolated.
-            for index in sorted(unfinished):
-                self._run_one(pending[index], outcomes, failures, record)
+                )
+                queue.append((index, config, attempts))
+                continue
+            keep_going = hooks.on_final(index, status, payload, attempts)
+            if keep_going is False:
+                while queue:
+                    abandoned_index, _config, _attempts = queue.popleft()
+                    hooks.on_abandoned(abandoned_index, "campaign aborted")
+                break
+
+
+class _SubmissionState:
+    """Mutable bookkeeping of one ``submit`` call, shared with hooks."""
+
+    def __init__(self, campaign, unique, outcomes, failures) -> None:
+        self.campaign = campaign
+        self.unique = unique
+        self.outcomes = outcomes
+        self.failures = failures
+        self.digests: Dict[ExperimentConfig, str] = {}
+        self.pending: List[ExperimentConfig] = []
+        self.journal: Optional[CampaignJournal] = None
+        self.hits = 0
+        self.retried = 0
+        self.resumed_done = 0
+        self.aborted = False
+        self.finished = 0
+        self.consecutive_failures = 0
+        self.start_times: Dict[int, float] = {}
+
+    # -- progress ------------------------------------------------------
+    def emit(self, kind: str, config, attempt: int = 1) -> None:
+        if self.campaign.progress is not None:
+            self.campaign.progress(
+                ProgressEvent(
+                    kind=kind,
+                    config=config,
+                    completed=self.finished,
+                    total=len(self.unique),
+                    attempt=attempt,
+                )
+            )
+
+    def record(self, kind: str, config, attempt: int = 1) -> None:
+        self.finished += 1
+        self.emit(kind, config, attempt)
+
+    # -- supervisor hooks ----------------------------------------------
+    def hooks(self) -> SupervisorHooks:
+        return SupervisorHooks(
+            on_start=self.on_start,
+            on_retry=self.on_retry,
+            on_final=self.on_final,
+            on_abandoned=self.on_abandoned,
+        )
+
+    def on_start(self, index: int, attempt: int) -> None:
+        config = self.pending[index]
+        self.start_times[index] = time.monotonic()
+        if self.journal is not None:
+            self.journal.record_start(self.digests[config], attempt)
+
+    def on_retry(self, index: int, attempt: int, error: str, message: str) -> None:
+        config = self.pending[index]
+        self.retried += 1
+        self.campaign.metrics.inc("campaign.points.retried")
+        if self.journal is not None:
+            self.journal.record_requeued(self.digests[config], attempt, error)
+        self.emit("retry", config, attempt)
+
+    def on_final(self, index: int, status: str, payload, attempts: int) -> bool:
+        config = self.pending[index]
+        campaign = self.campaign
+        wall_s = time.monotonic() - self.start_times.get(
+            index, time.monotonic()
+        )
+        if status == "ok":
+            self.outcomes[config] = payload
+            self.consecutive_failures = 0
+            campaign.metrics.inc("campaign.points.executed")
+            if self.journal is not None:
+                self.journal.record_done(self.digests[config], attempts, wall_s)
+            campaign.store(config, payload)
+            self.record("done", config, attempts)
+            return True
+        error, message, trace = payload
+        self.failures[config] = PointFailure(
+            config=config,
+            error=error,
+            message=message,
+            traceback=trace,
+            attempts=attempts,
+        )
+        campaign.metrics.inc("campaign.points.failed")
+        if self.journal is not None:
+            self.journal.record_failed(self.digests[config], attempts, error)
+        self.record("error", config, attempts)
+        self.consecutive_failures += 1
+        if (
+            campaign.abort_after is not None
+            and self.consecutive_failures >= campaign.abort_after
+            and not self.aborted
+        ):
+            self.aborted = True
+            campaign.metrics.inc("campaign.aborts")
+            if self.journal is not None:
+                self.journal.record_abort(
+                    f"{self.consecutive_failures} consecutive point failures"
+                )
+            return False
+        return True
+
+    def on_abandoned(self, index: int, reason: str) -> None:
+        config = self.pending[index]
+        if reason == "campaign aborted":
+            self.failures[config] = PointFailure(
+                config=config,
+                error="CampaignAborted",
+                message=(
+                    "not executed: the campaign breaker tripped after "
+                    "consecutive failures"
+                ),
+                attempts=0,
+            )
+            self.campaign.metrics.inc("campaign.points.failed")
+            if self.journal is not None:
+                self.journal.record_failed(
+                    self.digests[config], 0, "CampaignAborted"
+                )
+            self.record("error", config, 0)
+        else:
+            # Interrupted: leave the point unfinished but journaled as
+            # in flight so a resume picks it back up.
+            if self.journal is not None:
+                self.journal.record_requeued(
+                    self.digests[config], 0, "interrupted"
+                )

@@ -1,0 +1,310 @@
+"""Durable per-campaign execution journal (``repro-journal/1``).
+
+The :class:`~repro.campaign.engine.Campaign` result cache answers *what
+has been computed*; the journal answers *what happened while computing
+it* — and, crucially, survives the process that was doing the
+computing.  It is an append-only JSON-Lines file: one header line, then
+one record per point lifecycle event (started, done, failed, requeued)
+plus campaign-level events (resume, interrupt, abort).  After a crash,
+:meth:`CampaignJournal.load_state` replays the log into a
+:class:`JournalState` — which points finished, which were in flight,
+how many attempts each has consumed — so ``Campaign.submit(...,
+resume=True)`` can skip completed work and requeue whatever the dead
+process left dangling.
+
+Durability rules:
+
+* Every record is a single ``write()`` of one ``\\n``-terminated line on
+  an ``O_APPEND`` descriptor, flushed (and by default fsynced) before
+  the corresponding simulation result is considered recorded.  Two
+  processes appending concurrently interleave whole lines, never bytes.
+* Reading is tolerant: a truncated or garbage line (the torn tail of a
+  crash, or chaos-injected corruption) is counted in
+  :attr:`JournalState.corrupt_lines` and skipped — never a crash.  The
+  journal being damaged degrades resume precision, not correctness:
+  results still come from the content-addressed cache.
+* A journal whose header carries a different schema or cache salt is
+  refused for resume (:class:`JournalCompatError`) — replaying attempt
+  counts across a semantics change would lie.
+
+Points are identified by their config digest
+(:func:`~repro.campaign.hashing.config_digest`), so the journal never
+needs to serialize configs and stays cheap to append to.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from .hashing import CODE_VERSION
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "CampaignJournal",
+    "JournalCompatError",
+    "JournalState",
+]
+
+#: Schema tag carried by the journal header line.
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: Point lifecycle events (carry a ``digest``).
+_POINT_EVENTS = frozenset({"start", "done", "failed", "requeued"})
+#: Campaign-level events (no digest).
+_CAMPAIGN_EVENTS = frozenset({"resume", "interrupted", "abort"})
+
+
+class JournalCompatError(RuntimeError):
+    """The journal on disk was written under an incompatible schema/salt."""
+
+
+@dataclass
+class JournalState:
+    """The replayed truth of a journal: last known fate of every point.
+
+    Attributes:
+        done: digests whose last lifecycle event is ``done`` (their
+            results should live in the cache; if not, they re-run).
+        failed: digest → last recorded error name for points whose
+            retries were exhausted (or that failed deterministically).
+        in_flight: digests last seen ``start``/``requeued`` with no
+            terminal event — the points a crash caught mid-execution.
+        attempts: digest → attempts consumed so far (resume carries
+            these forward so retry budgets span crashes).
+        corrupt_lines: unparsable lines skipped during replay.
+        interrupted: the campaign recorded a SIGINT/SIGTERM drain.
+        aborted: the campaign breaker tripped (consecutive failures).
+    """
+
+    done: Dict[str, float] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    in_flight: Dict[str, int] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    corrupt_lines: int = 0
+    interrupted: bool = False
+    aborted: bool = False
+
+    def classify(self, digest: str) -> str:
+        """``"done"``, ``"failed"``, ``"in-flight"``, or ``"unknown"``."""
+        if digest in self.done:
+            return "done"
+        if digest in self.failed:
+            return "failed"
+        if digest in self.in_flight:
+            return "in-flight"
+        return "unknown"
+
+
+class CampaignJournal:
+    """Append-only JSONL record of one campaign's execution.
+
+    Args:
+        path: journal file location (created on first append).
+        salt: cache-key salt recorded in the header; resume refuses a
+            journal written under a different salt.
+        fsync: fsync after every append (the durability the chaos
+            harness assumes).  Disable only for throughput experiments.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        salt: str = CODE_VERSION,
+        fsync: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.salt = salt
+        self.fsync = fsync
+        self._fd: Optional[int] = None
+        #: Set when an append failed (disk full, permissions): the
+        #: journal degrades to a no-op rather than failing the campaign.
+        self.broken: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def open(self, fresh: bool = False) -> None:
+        """Open for appending; ``fresh`` truncates and writes a header.
+
+        Appending to a journal that does not exist yet also writes the
+        header.  Opening is idempotent.
+        """
+        if self._fd is not None:
+            return
+        needs_header = fresh or not self.path.exists() or (
+            self.path.stat().st_size == 0
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if fresh:
+            flags |= os.O_TRUNC
+        self._fd = os.open(self.path, flags, 0o644)
+        if needs_header:
+            self._append(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "salt": self.salt,
+                    "pid": os.getpid(),
+                    "created_unix_s": round(time.time(), 3),
+                }
+            )
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def __enter__(self) -> "CampaignJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _append(self, record: dict) -> None:
+        """One atomic line; failures mark the journal broken, not fatal."""
+        if self.broken is not None:
+            return
+        if self._fd is None:
+            self.open()
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            os.write(self._fd, (line + "\n").encode("utf-8"))
+            if self.fsync:
+                os.fsync(self._fd)
+        except OSError as error:
+            # A journal that cannot be written (disk full, revoked
+            # permissions) must not take the campaign down with it;
+            # the engine surfaces self.broken loudly at the end.
+            self.broken = f"{type(error).__name__}: {error}"
+
+    def record_start(self, digest: str, attempt: int) -> None:
+        """Point picked up for execution (attempt is 1-based)."""
+        self._append({"event": "start", "digest": digest, "attempt": attempt})
+
+    def record_done(self, digest: str, attempt: int, wall_s: float) -> None:
+        """Point finished successfully after ``wall_s`` real seconds."""
+        self._append(
+            {
+                "event": "done",
+                "digest": digest,
+                "attempt": attempt,
+                "wall_s": round(wall_s, 6),
+            }
+        )
+
+    def record_failed(self, digest: str, attempt: int, error: str) -> None:
+        """Point failed terminally (deterministic or retries exhausted)."""
+        self._append(
+            {"event": "failed", "digest": digest, "attempt": attempt,
+             "error": error}
+        )
+
+    def record_requeued(self, digest: str, attempt: int, reason: str) -> None:
+        """Point will be retried (transient failure, kill, or resume)."""
+        self._append(
+            {"event": "requeued", "digest": digest, "attempt": attempt,
+             "reason": reason}
+        )
+
+    def record_resume(self, done: int, in_flight: int, failed: int) -> None:
+        """A resumed submission adopted this journal's prior state."""
+        self._append(
+            {"event": "resume", "done": done, "in_flight": in_flight,
+             "failed": failed, "pid": os.getpid()}
+        )
+
+    def record_interrupted(self, pending: int) -> None:
+        """SIGINT/SIGTERM drain with ``pending`` points unfinished."""
+        self._append({"event": "interrupted", "pending": pending})
+
+    def record_abort(self, reason: str) -> None:
+        """The consecutive-failure breaker stopped the campaign."""
+        self._append({"event": "abort", "reason": reason})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _iter_lines(self) -> Iterator[Union[dict, None]]:
+        """Each parsed record dict, or ``None`` for a corrupt line."""
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                yield None
+                continue
+            yield record if isinstance(record, dict) else None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load_state(self, strict_salt: bool = True) -> JournalState:
+        """Replay the journal into a :class:`JournalState`.
+
+        Args:
+            strict_salt: raise :class:`JournalCompatError` when the
+                header's schema or salt does not match this journal's
+                (attempt counts must not survive a semantics bump).
+                A journal with a *missing or corrupt* header is treated
+                as salvage: replayed, with the damage counted.
+        """
+        state = JournalState()
+        header_seen = False
+        for record in self._iter_lines():
+            if record is None:
+                state.corrupt_lines += 1
+                continue
+            if not header_seen and "schema" in record:
+                header_seen = True
+                if strict_salt and (
+                    record.get("schema") != JOURNAL_SCHEMA
+                    or record.get("salt") != self.salt
+                ):
+                    raise JournalCompatError(
+                        f"journal {self.path} was written under "
+                        f"schema={record.get('schema')!r} "
+                        f"salt={record.get('salt')!r}; this campaign uses "
+                        f"schema={JOURNAL_SCHEMA!r} salt={self.salt!r}"
+                    )
+                continue
+            event = record.get("event")
+            if event in _POINT_EVENTS:
+                digest = record.get("digest")
+                attempt = record.get("attempt")
+                if not isinstance(digest, str) or not isinstance(attempt, int):
+                    state.corrupt_lines += 1
+                    continue
+                state.attempts[digest] = max(
+                    attempt, state.attempts.get(digest, 0)
+                )
+                state.done.pop(digest, None)
+                state.failed.pop(digest, None)
+                state.in_flight.pop(digest, None)
+                if event == "done":
+                    state.done[digest] = float(record.get("wall_s", 0.0))
+                elif event == "failed":
+                    state.failed[digest] = str(record.get("error", ""))
+                else:  # start / requeued → in flight
+                    state.in_flight[digest] = attempt
+            elif event in _CAMPAIGN_EVENTS:
+                if event == "interrupted":
+                    state.interrupted = True
+                elif event == "abort":
+                    state.aborted = True
+            else:
+                state.corrupt_lines += 1
+        return state

@@ -19,20 +19,27 @@ __all__ = ["ProgressEvent", "ProgressPrinter"]
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One finished campaign point.
+    """One campaign point status change.
 
     Attributes:
-        kind: ``"hit"`` (served from cache), ``"done"`` (simulated), or
-            ``"error"`` (the point failed; see the campaign's failures).
+        kind: ``"hit"`` (served from cache), ``"done"`` (simulated),
+            ``"error"`` (the point failed terminally; see the
+            campaign's failures), or ``"retry"`` (a transient failure —
+            killed worker, stall, wall-clock timeout — was requeued;
+            the point is *not* finished and ``completed`` does not
+            advance).
         config: the point's configuration.
-        completed: points finished so far, this one included.
+        completed: points finished so far (this one included, except
+            for ``"retry"`` events).
         total: unique points in the submission.
+        attempt: execution attempts consumed for this point so far.
     """
 
     kind: str
     config: ExperimentConfig
     completed: int
     total: int
+    attempt: int = 1
 
 
 #: Signature of a campaign progress callback.

@@ -1,0 +1,539 @@
+"""Supervised persistent worker pool for campaign execution.
+
+The PR-2 engine fanned points out over a bare
+``ProcessPoolExecutor``; a single hard worker death broke the whole
+pool, a wedged worker hung the batch forever (unless the Unix-only
+SIGALRM limit fired), and Ctrl-C lost everything in flight.  This
+module replaces that path with an explicitly supervised pool:
+
+* **Per-worker pipes.**  Each worker owns a private task pipe and a
+  private result pipe.  Nothing is shared between workers, so killing
+  one with SIGKILL can never corrupt another's channel (a shared
+  ``multiprocessing.Queue`` can deadlock if a writer dies holding its
+  feeder lock).  A dead worker is detected two ways: its result pipe
+  hits EOF, or ``Process.is_alive()`` goes false while it holds a task.
+* **Heartbeats + deadlines.**  A daemon thread in every worker sends a
+  beat every ``heartbeat_s``; the supervisor kills a busy worker whose
+  beats stop for ``stall_timeout_s`` (process wedged below Python — D
+  state, C extension without the GIL released) or whose task exceeds
+  its wall-clock deadline (``point_timeout_s`` plus ``hang_grace_s``;
+  the in-worker SIGALRM usually fires first, the supervisor kill is the
+  portable backstop that also works where SIGALRM cannot).
+* **Classified retries.**  A worker *death* or *stall* is transient:
+  the point is requeued with bounded exponential backoff (non-blocking:
+  the requeued task carries a not-before time) up to ``max_attempts``.
+  An exception *raised and shipped back* by the runner is deterministic
+  — rerunning the same seeded simulation reproduces it — and fails the
+  point immediately.  :class:`PointTimeoutError` is treated as
+  transient (wall-clock is about the host, not the config).
+* **Graceful drain.**  On SIGINT/SIGTERM the supervisor stops
+  dispatching, gives running points ``drain_grace_s`` to finish (their
+  results are recorded and cached), then kills the rest and reports
+  them abandoned so the engine can journal them as in-flight.  A second
+  signal skips the grace period.  Handlers are installed only on the
+  main thread and always restored.
+
+The supervisor is policy-free about campaign semantics: the engine
+passes :class:`SupervisorHooks` and keeps ownership of the journal,
+cache, metrics, and progress callbacks, all of which run in the parent.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .execution import _execute_point
+
+__all__ = [
+    "SupervisedPool",
+    "SupervisorHooks",
+    "TRANSIENT_ERRORS",
+    "WorkerCrashError",
+    "WorkerStallError",
+    "is_transient_error",
+]
+
+
+class WorkerCrashError(Exception):
+    """A worker process died (signal/``os._exit``) while running a point."""
+
+
+class WorkerStallError(Exception):
+    """A worker stopped heartbeating or blew its deadline and was killed."""
+
+
+#: Error names (``PointFailure.error``) classified as transient: the
+#: failure is about the host (a killed/wedged/slow process), not the
+#: config, so rerunning the same deterministic simulation can succeed.
+TRANSIENT_ERRORS = frozenset(
+    {"WorkerCrashError", "WorkerStallError", "PointTimeoutError"}
+)
+
+
+def is_transient_error(error_name: str) -> bool:
+    """Whether a failure with this error name is worth retrying."""
+    return error_name in TRANSIENT_ERRORS
+
+
+@dataclass
+class SupervisorHooks:
+    """Engine callbacks; every hook runs in the submitting process.
+
+    Attributes:
+        on_start: ``(index, attempt)`` — point dispatched to a worker.
+        on_retry: ``(index, attempt, error_name, message)`` — transient
+            failure; the point will be requeued (attempt just consumed).
+        on_final: ``(index, status, payload, attempts)`` with status
+            ``"ok"``/``"error"``; returns False to abort the campaign.
+        on_abandoned: ``(index, reason)`` — point not finished because
+            of an abort or an interrupt drain.
+    """
+
+    on_start: Callable[[int, int], None] = lambda index, attempt: None
+    on_retry: Callable[[int, int, str, str], None] = (
+        lambda index, attempt, error, message: None
+    )
+    on_final: Callable[[int, str, object, int], bool] = (
+        lambda index, status, payload, attempts: True
+    )
+    on_abandoned: Callable[[int, str], None] = lambda index, reason: None
+
+
+def _worker_main(
+    task_conn,
+    result_conn,
+    runner,
+    timeout_s,
+    profile_dir,
+    trace_dir,
+    heartbeat_s,
+) -> None:
+    """Worker loop: receive ``(index, config)``, send results + beats.
+
+    SIGINT is ignored — a terminal Ctrl-C signals the whole process
+    group, and the *supervisor* decides how the pool drains.  The
+    heartbeat thread shares the result pipe under a lock (``Connection``
+    is not thread-safe); a broken pipe means the parent is gone and the
+    worker exits rather than simulate into the void.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread start method
+        pass
+    send_lock = threading.Lock()
+
+    def send(message) -> bool:
+        with send_lock:
+            try:
+                result_conn.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                return False
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_s):
+            if not send(("beat",)):
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                task = task_conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            index, config = task
+            outcome = _execute_point(
+                (index, config, runner, timeout_s, profile_dir, trace_dir)
+            )
+            if not send(("result", outcome)):
+                break
+    except KeyboardInterrupt:  # pragma: no cover - SIGINT is ignored
+        pass
+    finally:
+        stop.set()
+
+
+@dataclass
+class _Task:
+    index: int
+    config: object
+    attempts: int = 0  # attempts consumed (carried over on resume)
+    not_before: float = 0.0  # monotonic time gating backoff requeues
+
+
+@dataclass
+class _Worker:
+    process: object
+    task_w: object
+    result_r: object
+    task: Optional[_Task] = None
+    started_at: float = 0.0
+    last_beat: float = field(default_factory=time.monotonic)
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+
+class SupervisedPool:
+    """Run campaign points on supervised workers (see module docstring).
+
+    Args:
+        jobs: worker process count.
+        runner: picklable per-config runner (see the engine).
+        point_timeout_s: in-worker SIGALRM budget; also (plus
+            ``hang_grace_s``) the supervisor's kill deadline.
+        max_attempts: total attempts per point for *transient* failures.
+        backoff_base_s / backoff_cap_s: exponential requeue backoff
+            (``base * 2**(attempt-1)``, capped), enforced without
+            blocking the supervisor loop.
+        heartbeat_s: worker beat interval.
+        stall_timeout_s: kill a busy worker silent for this long.
+        hang_grace_s: slack over ``point_timeout_s`` before the
+            supervisor kills (lets the in-worker SIGALRM win when it
+            can, producing the richer traceback).
+        drain_grace_s: how long running points may finish after
+            SIGINT/SIGTERM before being killed and abandoned.
+        mp_context: ``multiprocessing`` start-method context (default:
+            platform default — fork on Linux).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        runner: Callable,
+        point_timeout_s: Optional[float] = None,
+        profile_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 30.0,
+        heartbeat_s: float = 0.2,
+        stall_timeout_s: float = 30.0,
+        hang_grace_s: float = 5.0,
+        drain_grace_s: float = 5.0,
+        poll_s: float = 0.05,
+        mp_context=None,
+        metrics=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        self.jobs = jobs
+        self.runner = runner
+        self.point_timeout_s = point_timeout_s
+        self.profile_dir = profile_dir
+        self.trace_dir = trace_dir
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.heartbeat_s = heartbeat_s
+        self.stall_timeout_s = stall_timeout_s
+        self.hang_grace_s = hang_grace_s
+        self.drain_grace_s = drain_grace_s
+        self.poll_s = poll_s
+        self.ctx = mp_context if mp_context is not None else get_context()
+        self.metrics = metrics
+        self._interrupts = 0
+
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, by)
+
+    def _spawn(self) -> _Worker:
+        task_r, task_w = self.ctx.Pipe(duplex=False)
+        result_r, result_w = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                task_r,
+                result_w,
+                self.runner,
+                self.point_timeout_s,
+                self.profile_dir,
+                self.trace_dir,
+                self.heartbeat_s,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Close the child's ends in the parent so EOF detection works.
+        task_r.close()
+        result_w.close()
+        self._inc("campaign.workers.spawned")
+        return _Worker(process=process, task_w=task_w, result_r=result_r)
+
+    def _kill(self, worker: _Worker) -> None:
+        try:
+            worker.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - defensive
+            try:
+                worker.process.terminate()
+            except OSError:
+                pass
+        worker.process.join(timeout=5.0)
+        for conn_end in (worker.task_w, worker.result_r):
+            try:
+                conn_end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _deadline_for(self, worker: _Worker, now: float) -> Optional[str]:
+        """Why ``worker`` should be killed right now, if any reason."""
+        if not worker.busy:
+            return None
+        if (
+            self.point_timeout_s is not None
+            and now - worker.started_at
+            > self.point_timeout_s + self.hang_grace_s
+        ):
+            return (
+                f"exceeded the {self.point_timeout_s:g}s point budget "
+                f"(+{self.hang_grace_s:g}s grace) without returning"
+            )
+        if now - worker.last_beat > self.stall_timeout_s:
+            return (
+                f"stopped heartbeating for {self.stall_timeout_s:g}s "
+                "while running a point"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        points: Sequence[Tuple[int, object, int]],
+        hooks: SupervisorHooks,
+    ) -> None:
+        """Execute ``(index, config, prior_attempts)`` triples to completion.
+
+        Returns when every point reached a final state (``on_final``),
+        was abandoned after an abort (``on_abandoned``), or — on
+        interrupt — after the drain, in which case the pending points
+        are reported abandoned and :class:`KeyboardInterrupt` is raised.
+        """
+        ready = deque(
+            _Task(index=index, config=config, attempts=attempts)
+            for index, config, attempts in points
+        )
+        if not ready:
+            return
+        workers: List[_Worker] = [
+            self._spawn() for _ in range(min(self.jobs, len(ready)))
+        ]
+        remaining = len(ready)
+        aborting = False
+        draining = False
+        drain_deadline = 0.0
+        self._interrupts = 0
+
+        on_main_thread = (
+            threading.current_thread() is threading.main_thread()
+        )
+        previous_handlers = {}
+
+        def _on_signal(signum, frame):  # pragma: no cover - timing-dependent
+            self._interrupts += 1
+
+        if on_main_thread:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(
+                        signum, _on_signal
+                    )
+                except (ValueError, OSError):
+                    pass
+
+        def finish(task: _Task, status: str, payload) -> None:
+            nonlocal remaining, aborting
+            remaining -= 1
+            keep_going = hooks.on_final(
+                task.index, status, payload, task.attempts
+            )
+            if keep_going is False and not aborting:
+                aborting = True
+
+        def settle_failure(task: _Task, error: str, message: str) -> None:
+            """Requeue a transient failure or finalize it."""
+            if (
+                is_transient_error(error)
+                and task.attempts < self.max_attempts
+                and not aborting
+                and not draining
+            ):
+                hooks.on_retry(task.index, task.attempts, error, message)
+                self._inc("campaign.points.retried")
+                backoff = min(
+                    self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (task.attempts - 1)),
+                )
+                task.not_before = time.monotonic() + backoff
+                ready.append(task)
+            else:
+                finish(task, "error", (error, message, ""))
+
+        try:
+            while remaining > 0:
+                now = time.monotonic()
+
+                # Interrupt bookkeeping: first signal starts the drain,
+                # a second one (or the grace expiring) forces the kill.
+                if self._interrupts > 0 and not draining:
+                    draining = True
+                    drain_deadline = now + self.drain_grace_s
+                force_stop = draining and (
+                    now >= drain_deadline or self._interrupts > 1
+                )
+
+                if aborting or force_stop:
+                    break
+
+                # Dispatch: at most one task per idle worker, and only
+                # tasks whose backoff gate has passed.
+                if not draining:
+                    for worker in workers:
+                        if not ready:
+                            break
+                        if worker.busy or not worker.process.is_alive():
+                            continue
+                        gated = None
+                        for _ in range(len(ready)):
+                            candidate = ready.popleft()
+                            if candidate.not_before <= now:
+                                gated = candidate
+                                break
+                            ready.append(candidate)
+                        if gated is None:
+                            break
+                        gated.attempts += 1
+                        try:
+                            worker.task_w.send((gated.index, gated.config))
+                        except (BrokenPipeError, OSError):
+                            # Worker died before dispatch; requeue the
+                            # attempt and let liveness handling respawn.
+                            gated.attempts -= 1
+                            ready.appendleft(gated)
+                            continue
+                        worker.task = gated
+                        worker.started_at = now
+                        worker.last_beat = now
+                        hooks.on_start(gated.index, gated.attempts)
+
+                if draining and not any(worker.busy for worker in workers):
+                    break
+
+                # Wait on every live result pipe at once.
+                readable = connection.wait(
+                    [
+                        worker.result_r
+                        for worker in workers
+                        if worker.process.is_alive() or worker.busy
+                    ],
+                    timeout=self.poll_s,
+                )
+                for pipe in readable:
+                    worker = next(
+                        candidate
+                        for candidate in workers
+                        if candidate.result_r is pipe
+                    )
+                    try:
+                        message = pipe.recv()
+                    except (EOFError, OSError):
+                        # Pipe EOF — the worker is gone; fall through to
+                        # the liveness scan below, which classifies it.
+                        worker.process.join(timeout=0.1)
+                        continue
+                    worker.last_beat = time.monotonic()
+                    if message[0] == "result":
+                        _tag, outcome = message
+                        index, status, payload = outcome
+                        task = worker.task
+                        worker.task = None
+                        if task is None or task.index != index:
+                            # Should not happen; treat as untracked final.
+                            continue  # pragma: no cover - defensive
+                        if status == "ok":
+                            finish(task, "ok", payload)
+                        else:
+                            settle_failure(task, payload[0], payload[1])
+
+                # Liveness + deadline scan.
+                for position, worker in enumerate(workers):
+                    reason = None
+                    crashed = not worker.process.is_alive()
+                    if crashed and worker.busy:
+                        code = worker.process.exitcode
+                        reason = (
+                            "WorkerCrashError",
+                            f"worker process died (exit code {code}) while "
+                            "running the point",
+                        )
+                        self._inc("campaign.workers.died")
+                    elif not crashed:
+                        why = self._deadline_for(worker, time.monotonic())
+                        if why is not None:
+                            self._kill(worker)
+                            crashed = True
+                            reason = ("WorkerStallError", why)
+                            self._inc("campaign.workers.killed")
+                    if crashed:
+                        task = worker.task
+                        worker.task = None
+                        if task is not None:
+                            settle_failure(task, *reason)
+                        if remaining > 0 and not draining and not aborting:
+                            workers[position] = self._spawn()
+                            self._inc("campaign.workers.respawned")
+
+            # Drain epilogue / abort epilogue.
+            if remaining > 0:
+                abandoned_any = True
+                abandoned_reason = (
+                    "campaign aborted" if aborting else "interrupted"
+                )
+                for worker in workers:
+                    if worker.busy:
+                        task = worker.task
+                        worker.task = None
+                        hooks.on_abandoned(task.index, abandoned_reason)
+                        remaining -= 1
+                while ready:
+                    task = ready.popleft()
+                    hooks.on_abandoned(task.index, abandoned_reason)
+                    remaining -= 1
+            else:
+                abandoned_any = False
+        finally:
+            for worker in workers:
+                if worker.process.is_alive():
+                    self._kill(worker)
+                else:
+                    worker.process.join(timeout=0.1)
+                    for conn_end in (worker.task_w, worker.result_r):
+                        try:
+                            conn_end.close()
+                        except OSError:  # pragma: no cover - already closed
+                            pass
+            for signum, handler in previous_handlers.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        # A Ctrl-C whose drain still finished every point is a complete
+        # campaign; only an interrupt that left work behind propagates.
+        if self._interrupts > 0 and abandoned_any:
+            raise KeyboardInterrupt

@@ -57,6 +57,30 @@ def _campaign_parent() -> argparse.ArgumentParser:
         "exceeds it becomes an error record instead of hanging the batch",
     )
     group.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="durable campaign journal (JSONL); default: "
+        "<cache-dir>/campaign-journal.jsonl when a cache dir is in effect",
+    )
+    group.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the campaign journal even when a cache dir is set",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journal: skip points it marked done "
+        "(served from the cache) and requeue the ones left in flight",
+    )
+    group.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per point for transient failures (killed or "
+        "stalled workers, wall-clock timeouts; default: 3)",
+    )
+    group.add_argument(
+        "--abort-after", type=int, default=None, metavar="N",
+        help="stop the campaign after N consecutive point failures "
+        "instead of grinding through a doomed grid",
+    )
+    group.add_argument(
         "--profile", action="store_true",
         help="profile with cProfile: `run` prints the top cumulative "
         "functions; campaign points dump per-point .prof files",
@@ -81,11 +105,26 @@ def _campaign_from_args(args: argparse.Namespace):
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     if args.no_cache:
         cache_dir = None
+    journal = None
+    if not args.no_journal:
+        if args.journal:
+            journal = args.journal
+        elif cache_dir:
+            journal = os.path.join(cache_dir, "campaign-journal.jsonl")
+    if args.resume and journal is None:
+        raise SystemExit(
+            "--resume needs a journal: pass --journal FILE or a cache dir "
+            "(--cache-dir / $REPRO_CACHE_DIR), and drop --no-journal"
+        )
     return Campaign(
         jobs=args.jobs,
         cache_dir=cache_dir,
         progress=ProgressPrinter() if args.progress else None,
         point_timeout_s=args.point_timeout,
+        journal_path=journal,
+        resume=args.resume,
+        max_attempts=args.max_attempts,
+        abort_after=args.abort_after,
         profile_dir=args.profile_dir if args.profile else None,
         trace_dir=args.trace_dir,
     )
@@ -99,9 +138,59 @@ def _print_campaign_stats(campaign) -> None:
     print(
         f"campaign: {stats.unique} unique of {stats.submitted} submitted | "
         f"{stats.cache_hits} cache hits | {stats.executed} executed | "
-        f"{stats.failures} failures | {stats.duration_s:.2f}s wall",
+        f"{stats.retried} retried | {stats.failures} failures | "
+        f"{stats.duration_s:.2f}s wall",
         file=sys.stderr,
     )
+
+
+def _campaign_epilogue(campaign, args, error=None) -> int:
+    """Shared exit path for campaign commands: stats, failures, code.
+
+    A campaign that finished with failed points exits nonzero with a
+    one-line summary (and the journal path when there is one) instead
+    of passing silently to the shell.
+    """
+    if args.progress:
+        _print_campaign_stats(campaign)
+    stats = campaign.last_stats
+    failures = stats.failures if stats is not None else 0
+    if error is not None and failures == 0:
+        failures = 1
+    if failures == 0:
+        return 0
+    total = stats.unique if stats is not None else failures
+    aborted = (
+        " (aborted by the consecutive-failure breaker)"
+        if stats is not None and stats.aborted
+        else ""
+    )
+    journal = (
+        f"; journal: {campaign.journal_path}" if campaign.journal_path else ""
+    )
+    print(
+        f"campaign failed: {failures} of {total} point(s) did not "
+        f"complete{aborted}{journal}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _interrupted_exit(campaign) -> int:
+    """Exit path after Ctrl-C: print the resume hint, return 130."""
+    if campaign.journal_path:
+        print(
+            "interrupted; rerun the same command with --resume to continue "
+            f"(journal: {campaign.journal_path})",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "interrupted; rerun with --cache-dir or --journal to make "
+            "campaigns resumable",
+            file=sys.stderr,
+        )
+    return 130
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -332,9 +421,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="force-promote requests older than S seconds (forced decisions)",
     )
 
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clean the content-addressed result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("clean", "stats"),
+        help="clean: remove orphaned temp files left by crashed writers "
+        "and list quarantined (*.corrupt) entries; stats: entry counts",
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+
     subparsers.add_parser("list", help="list available schedulers")
 
     args = parser.parse_args(argv)
+
+    if args.command == "cache":
+        from .campaign import ResultCache
+
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+        if not cache_dir:
+            raise SystemExit(
+                "cache: provide --cache-dir or set $REPRO_CACHE_DIR"
+            )
+        cache = ResultCache(cache_dir, sweep_orphans=False)
+        corrupt = cache.corrupt_entries()
+        if args.action == "clean":
+            removed = cache.clean()
+            print(
+                f"removed {removed} orphaned temp file(s) under {cache.root}"
+            )
+        else:
+            print(f"{len(cache)} cached result(s) under {cache.root}")
+        if corrupt:
+            print(f"{len(corrupt)} quarantined corrupt entrie(s):")
+            for path in corrupt:
+                print(f"  {path}")
+        return 0
 
     if args.command == "list":
         for name in scheduler_names():
@@ -342,14 +467,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figure":
+        from .campaign import CampaignPointError
+
         campaign = _campaign_from_args(args)
         generator = FIGURES[args.figure_id]
-        if args.figure_id == "10a" or args.horizon is None:
-            data = generator(campaign=campaign)
-        else:
-            data = generator(horizon_s=args.horizon, campaign=campaign)
-        if args.progress:
-            _print_campaign_stats(campaign)
+        try:
+            if args.figure_id == "10a" or args.horizon is None:
+                data = generator(campaign=campaign)
+            else:
+                data = generator(horizon_s=args.horizon, campaign=campaign)
+        except KeyboardInterrupt:
+            return _interrupted_exit(campaign)
+        except CampaignPointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return _campaign_epilogue(campaign, args, error=error) or 1
         if args.format == "csv":
             from .report.export import figure_to_csv
 
@@ -364,7 +495,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .report.plot import plot_throughput_delay
 
             print(plot_throughput_delay(data))
-        return 0
+        return _campaign_epilogue(campaign, args)
 
     if args.command == "lifecycle":
         from .layout.lifecycle import LifecyclePlanner
@@ -393,17 +524,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
+        from .campaign import CampaignPointError
         from .experiments.sweeps import queue_sweep
         from .report.text import format_parametric_series
 
         campaign = _campaign_from_args(args)
         queue_lengths = [int(piece) for piece in args.queues.split(",") if piece]
         base = _config_from_args(args, queue=queue_lengths[0])
-        points = queue_sweep(base, queue_lengths, campaign=campaign)
+        try:
+            points = queue_sweep(base, queue_lengths, campaign=campaign)
+        except KeyboardInterrupt:
+            return _interrupted_exit(campaign)
+        except CampaignPointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return _campaign_epilogue(campaign, args, error=error) or 1
         print(format_parametric_series(args.scheduler, points))
-        if args.progress:
-            _print_campaign_stats(campaign)
-        return 0
+        return _campaign_epilogue(campaign, args)
 
     if args.command == "chaos":
         from .faults.config import FaultConfig
@@ -591,13 +727,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"profile written to {prof_path}", file=sys.stderr)
         return 0
 
+    from .campaign import CampaignPointError
+
     campaign = _campaign_from_args(args)
-    result = campaign.submit([config]).require(config)
+    try:
+        result = campaign.submit([config]).require(config)
+    except KeyboardInterrupt:
+        return _interrupted_exit(campaign)
+    except CampaignPointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return _campaign_epilogue(campaign, args, error=error) or 1
     print(result.config.describe())
     print(result.report)
-    if args.progress:
-        _print_campaign_stats(campaign)
-    return 0
+    return _campaign_epilogue(campaign, args)
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution guard

@@ -46,6 +46,22 @@ class MetricRegistry:
         return self._gauges.get(name, default)
 
     # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold ``other`` into this registry; returns ``self`` for chaining.
+
+        Counters add; gauges take ``other``'s (last-write-wins), matching
+        their single-registry semantics.  Used to aggregate reliability
+        counters across the several campaigns a chaos scenario runs.
+        """
+        for name, value in other.counters():
+            self.inc(name, value)
+        for name, value in other.gauges():
+            self.set_gauge(name, value)
+        return self
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def counters(self) -> Iterator[Tuple[str, int]]:

@@ -1,0 +1,77 @@
+"""The chaos harness's scenarios, run as tests.
+
+Each test drives one scenario from ``tools/chaos_campaign.py`` against
+a small real campaign grid and asserts the crash-safety invariant the
+harness encodes: the campaign completes bit-identical to an undisturbed
+serial baseline, or fails loudly with a resumable journal — and a
+resume never re-executes a point the journal marked done whose cache
+entry is intact.  CI additionally runs the tool directly (the
+``chaos-smoke`` job) so the command-line entry point stays honest.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent.parent / "tools")
+)
+try:
+    import chaos_campaign
+finally:
+    sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return chaos_campaign.chaos_grid(points=4)
+
+
+@pytest.fixture(scope="module")
+def golden(grid):
+    return chaos_campaign.baseline_digests(grid)
+
+
+def test_worker_kill_is_retried_bit_identically(grid, golden, tmp_path):
+    outcome = chaos_campaign.scenario_worker_kill(
+        grid, golden, str(tmp_path), False
+    )
+    assert outcome["ok"], outcome
+
+
+def test_killed_campaign_resumes_and_quarantines_corruption(
+    grid, golden, tmp_path
+):
+    outcome = chaos_campaign.scenario_crash_resume_corrupt(
+        grid, golden, str(tmp_path), False
+    )
+    assert outcome["ok"], outcome
+    assert outcome["rerun_of_intact_done_points"] == 0
+    assert outcome["corrupted_entry_requeued"]
+
+
+def test_corrupt_journal_degrades_resume_not_correctness(
+    grid, golden, tmp_path
+):
+    outcome = chaos_campaign.scenario_corrupt_journal(
+        grid, golden, str(tmp_path), False
+    )
+    assert outcome["ok"], outcome
+    assert outcome["corrupt_lines"] >= 3
+
+
+def test_disk_full_cache_writes_warn_but_results_stand(
+    grid, golden, tmp_path
+):
+    outcome = chaos_campaign.scenario_disk_full(
+        grid, golden, str(tmp_path), False
+    )
+    assert outcome["ok"], outcome
+
+
+def test_orphaned_temp_files_are_swept(grid, golden, tmp_path):
+    outcome = chaos_campaign.scenario_orphan_gc(
+        grid, golden, str(tmp_path), False
+    )
+    assert outcome["ok"], outcome

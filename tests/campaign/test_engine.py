@@ -105,16 +105,29 @@ class TestFailureIsolation:
         )
 
     def test_hard_worker_crash_degrades_to_error_records(self):
-        # os._exit in a worker breaks the whole pool; the campaign must
-        # fall back to isolated serial execution and report failures
-        # rather than raise BrokenProcessPool at the caller.
+        # os._exit in a worker must never surface as a raised exception
+        # at the caller: the supervisor retries each point (worker death
+        # is transient) and, once attempts are exhausted, reports a
+        # WorkerCrashError failure record per point.
         configs = _grid(3)
-        submission = Campaign(jobs=2, runner=_hard_crash_runner).submit(configs)
+        campaign = Campaign(
+            jobs=2,
+            runner=_hard_crash_runner,
+            max_attempts=2,
+            backoff_base_s=0.01,
+        )
+        submission = campaign.submit(configs)
         assert len(submission.configs) == 3
         assert submission.stats.failures == 3
         assert all(
-            failure.error == "RuntimeError" for failure in submission.failures
+            failure.error == "WorkerCrashError"
+            for failure in submission.failures
         )
+        assert all(
+            failure.attempts == 2 for failure in submission.failures
+        )
+        assert submission.stats.retried == 3
+        assert campaign.metrics.count("campaign.workers.died") >= 3
 
 
 class TestCacheIntegration:

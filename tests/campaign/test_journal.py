@@ -1,0 +1,169 @@
+"""Tests for the durable campaign journal (``repro-journal/1``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    JOURNAL_SCHEMA,
+    CampaignJournal,
+    JournalCompatError,
+)
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestFormat:
+    def test_fresh_open_writes_header(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", salt="s1")
+        journal.open(fresh=True)
+        journal.close()
+        header = _lines(tmp_path / "j.jsonl")[0]
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["salt"] == "s1"
+
+    def test_append_open_keeps_existing_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_start("aa", 1)
+        with CampaignJournal(path) as journal:
+            journal.record_done("aa", 1, 0.5)
+        events = [line.get("event") for line in _lines(path)]
+        assert events == [None, "start", "done"]  # header has no event
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_start("aa", 1)
+        journal = CampaignJournal(path)
+        journal.open(fresh=True)
+        journal.close()
+        assert [line.get("event") for line in _lines(path)] == [None]
+
+    def test_records_are_single_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_start("aa", 1)
+            journal.record_done("aa", 1, 1.234567)
+            journal.record_failed("bb", 3, "RuntimeError")
+            journal.record_requeued("cc", 1, "WorkerCrashError")
+            journal.record_resume(done=1, in_flight=1, failed=0)
+            journal.record_interrupted(2)
+            journal.record_abort("testing")
+        assert len(_lines(path)) == 8  # header + 7 records
+
+
+class TestReplay:
+    def test_lifecycle_last_event_wins(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            journal.record_start("done-pt", 1)
+            journal.record_done("done-pt", 1, 2.0)
+            journal.record_start("flight-pt", 1)
+            journal.record_requeued("flight-pt", 1, "WorkerCrashError")
+            journal.record_start("failed-pt", 1)
+            journal.record_failed("failed-pt", 2, "ValueError")
+            state = journal.load_state()
+        assert state.classify("done-pt") == "done"
+        assert state.done["done-pt"] == 2.0
+        assert state.classify("flight-pt") == "in-flight"
+        assert state.classify("failed-pt") == "failed"
+        assert state.failed["failed-pt"] == "ValueError"
+        assert state.classify("never-seen") == "unknown"
+
+    def test_attempts_carry_the_maximum(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            journal.record_start("aa", 1)
+            journal.record_requeued("aa", 1, "WorkerCrashError")
+            journal.record_start("aa", 2)
+            state = journal.load_state()
+        assert state.attempts["aa"] == 2
+        assert state.in_flight["aa"] == 2
+
+    def test_interrupt_and_abort_flags(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            journal.record_interrupted(3)
+            journal.record_abort("breaker")
+            state = journal.load_state()
+        assert state.interrupted and state.aborted
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        state = CampaignJournal(tmp_path / "absent.jsonl").load_state()
+        assert not state.done and not state.in_flight
+        assert not CampaignJournal(tmp_path / "absent.jsonl").exists()
+
+
+class TestCorruptionTolerance:
+    def test_garbage_and_torn_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_done("aa", 1, 1.0)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xffnot json at all\n")
+            handle.write(b'{"event":"done","digest":42,"attempt":1}\n')
+            handle.write(b'["event", "not-a-dict"]\n')
+            handle.write(b'{"event":"start","digest":"bb","attempt":1')
+        state = CampaignJournal(path).load_state()
+        assert state.classify("aa") == "done"
+        assert state.corrupt_lines == 4
+        assert "bb" not in state.in_flight  # the torn tail never replays
+
+    def test_unknown_event_counts_as_corrupt(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_done("aa", 1, 1.0)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event":"teleported","digest":"aa"}\n')
+        state = CampaignJournal(path).load_state()
+        assert state.corrupt_lines == 1
+        assert state.classify("aa") == "done"
+
+    def test_failed_append_degrades_to_broken_not_raise(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.open(fresh=True)
+        os.close(journal._fd)
+        # Point the journal at a read-only descriptor: every append now
+        # fails the way a full disk would.
+        journal._fd = os.open(path, os.O_RDONLY)
+        journal.record_done("aa", 1, 1.0)
+        assert journal.broken is not None
+        journal.record_done("bb", 1, 1.0)  # still a no-op, still no raise
+        journal.close()
+        assert [line.get("event") for line in _lines(path)] == [None]
+
+
+class TestCompatibility:
+    def test_salt_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, salt="old") as journal:
+            journal.record_done("aa", 1, 1.0)
+        with pytest.raises(JournalCompatError, match="salt"):
+            CampaignJournal(path, salt="new").load_state()
+
+    def test_schema_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"schema": "repro-journal/999", "salt": "s"}\n')
+        with pytest.raises(JournalCompatError, match="schema"):
+            CampaignJournal(path, salt="s").load_state()
+
+    def test_non_strict_load_salvages_other_salt(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, salt="old") as journal:
+            journal.record_done("aa", 1, 1.0)
+        state = CampaignJournal(path, salt="new").load_state(
+            strict_salt=False
+        )
+        assert state.classify("aa") == "done"
+
+    def test_headerless_journal_is_salvage_not_refusal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event":"done","digest":"aa","attempt":1}\n')
+        state = CampaignJournal(path).load_state()
+        assert state.classify("aa") == "done"

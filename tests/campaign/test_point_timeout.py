@@ -45,6 +45,35 @@ class TestWallClockLimit:
         time.sleep(0.01)
         assert value == 2
 
+    def test_off_main_thread_warns_and_degrades_to_no_op(self):
+        # SIGALRM can only be armed on the Unix main thread; elsewhere
+        # the limit must degrade loudly instead of raising ValueError
+        # (the supervisor's deadline kill is the backstop there).
+        import threading
+        import warnings
+
+        outcome = {}
+
+        def run():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                try:
+                    with _wall_clock_limit(0.05):
+                        time.sleep(0.15)  # well past the "limit"
+                    outcome["raised"] = False
+                except PointTimeoutError:
+                    outcome["raised"] = True
+                outcome["warnings"] = [str(w.message) for w in caught]
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert outcome["raised"] is False
+        assert any(
+            "off the main thread" in message
+            for message in outcome["warnings"]
+        )
+
 
 class TestCampaignTimeouts:
     def test_rejects_non_positive_timeout(self):

@@ -1,0 +1,260 @@
+"""Tests for the supervised worker pool (crash/stall/retry/drain)."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    SupervisedPool,
+    SupervisorHooks,
+    TRANSIENT_ERRORS,
+    is_transient_error,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="supervisor tests need fork + SIGKILL"
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level (hence fork/pickle-safe) runners.  Pool tests do not need
+# real experiment configs: any picklable value works as a "config".
+# ----------------------------------------------------------------------
+def _square(value):
+    return value * value
+
+
+def _fail_on_7(value):
+    if value == 7:
+        raise ValueError("deterministic failure on 7")
+    return value
+
+
+def _always_die(value):
+    os._exit(5)
+
+
+def _sleepy(value):
+    time.sleep(0.3)
+    return value
+
+
+def _defeat_sigalrm_and_hang(value):
+    # Defeat the in-worker SIGALRM so only the supervisor's deadline
+    # kill (the portable backstop) can end this point.
+    signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        pass
+    return value
+
+
+class _DieOnceOn:
+    """SIGKILL-equivalent death on ``victim``, exactly once (marker file)."""
+
+    def __init__(self, marker_dir, victim):
+        self.marker = os.path.join(marker_dir, "died-once")
+        self.victim = victim
+
+    def __call__(self, value):
+        if value == self.victim:
+            try:
+                fd = os.open(self.marker, os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                pass
+            else:
+                os.close(fd)
+                os._exit(11)
+        return value
+
+
+class _Recorder:
+    """Hook implementation that captures every supervisor callback."""
+
+    def __init__(self, abort_on_error=False):
+        self.started = []
+        self.retried = []
+        self.finals = {}
+        self.attempts = {}
+        self.abandoned = []
+        self.abort_on_error = abort_on_error
+
+    def hooks(self):
+        return SupervisorHooks(
+            on_start=lambda index, attempt: self.started.append(
+                (index, attempt)
+            ),
+            on_retry=lambda index, attempt, error, message: (
+                self.retried.append((index, attempt, error))
+            ),
+            on_final=self.on_final,
+            on_abandoned=lambda index, reason: self.abandoned.append(
+                (index, reason)
+            ),
+        )
+
+    def on_final(self, index, status, payload, attempts):
+        self.finals[index] = (status, payload)
+        self.attempts[index] = attempts
+        return not (self.abort_on_error and status == "error")
+
+
+def _pool(runner, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("backoff_base_s", 0.01)
+    return SupervisedPool(runner=runner, **kwargs)
+
+
+class TestHappyPath:
+    def test_every_point_reaches_a_final(self):
+        recorder = _Recorder()
+        _pool(_square).run(
+            [(index, index, 0) for index in range(5)], recorder.hooks()
+        )
+        assert recorder.finals == {
+            index: ("ok", index * index) for index in range(5)
+        }
+        assert all(attempt == 1 for attempt in recorder.attempts.values())
+        assert recorder.retried == [] and recorder.abandoned == []
+
+    def test_empty_batch_is_a_no_op(self):
+        _pool(_square).run([], _Recorder().hooks())
+
+
+class TestFailureClassification:
+    def test_taxonomy(self):
+        assert TRANSIENT_ERRORS == {
+            "WorkerCrashError", "WorkerStallError", "PointTimeoutError"
+        }
+        assert is_transient_error("WorkerCrashError")
+        assert not is_transient_error("ValueError")
+
+    def test_deterministic_exception_is_never_retried(self):
+        recorder = _Recorder()
+        _pool(_fail_on_7, max_attempts=3).run(
+            [(0, 7, 0), (1, 2, 0)], recorder.hooks()
+        )
+        status, payload = recorder.finals[0]
+        assert status == "error"
+        assert payload[0] == "ValueError"
+        assert recorder.attempts[0] == 1  # no attempt was wasted
+        assert recorder.retried == []
+        assert recorder.finals[1] == ("ok", 2)
+
+    def test_worker_death_is_retried_then_succeeds(self, tmp_path):
+        recorder = _Recorder()
+        runner = _DieOnceOn(str(tmp_path), victim=3)
+        pool = _pool(runner, max_attempts=3)
+        pool.run([(index, index, 0) for index in range(4)], recorder.hooks())
+        assert recorder.finals == {
+            index: ("ok", index) for index in range(4)
+        }
+        assert [entry[2] for entry in recorder.retried] == [
+            "WorkerCrashError"
+        ]
+        assert recorder.attempts[3] == 2
+
+    def test_persistent_death_exhausts_attempts(self):
+        recorder = _Recorder()
+        _pool(_always_die, jobs=1, max_attempts=2).run(
+            [(0, 0, 0)], recorder.hooks()
+        )
+        status, payload = recorder.finals[0]
+        assert status == "error"
+        assert payload[0] == "WorkerCrashError"
+        assert recorder.attempts[0] == 2
+        assert len(recorder.retried) == 1
+
+    def test_prior_attempts_shrink_the_retry_budget(self):
+        # A resumed point that already consumed 1 attempt gets only one
+        # more under max_attempts=2.
+        recorder = _Recorder()
+        _pool(_always_die, jobs=1, max_attempts=2).run(
+            [(0, 0, 1)], recorder.hooks()
+        )
+        assert recorder.attempts[0] == 2
+        assert recorder.retried == []  # no budget left for a retry
+
+
+class TestDeadlineKill:
+    def test_supervisor_kills_past_deadline_when_sigalrm_cannot(self):
+        recorder = _Recorder()
+        pool = _pool(
+            _defeat_sigalrm_and_hang,
+            jobs=1,
+            point_timeout_s=0.3,
+            hang_grace_s=0.2,
+            max_attempts=1,
+        )
+        started = time.monotonic()
+        pool.run([(0, 0, 0)], recorder.hooks())
+        assert time.monotonic() - started < 20.0
+        status, payload = recorder.finals[0]
+        assert status == "error"
+        assert payload[0] == "WorkerStallError"
+        assert "point budget" in payload[1]
+
+
+class TestAbort:
+    def test_on_final_false_abandons_the_rest(self):
+        recorder = _Recorder(abort_on_error=True)
+        points = [(0, 7, 0)] + [(index, index, 0) for index in (1, 2, 3)]
+        _pool(_fail_on_7, jobs=1).run(points, recorder.hooks())
+        assert recorder.finals[0][0] == "error"
+        finished = set(recorder.finals)
+        abandoned = {index for index, _reason in recorder.abandoned}
+        assert finished | abandoned == {0, 1, 2, 3}
+        assert all(
+            reason == "campaign aborted"
+            for _index, reason in recorder.abandoned
+        )
+        assert len(abandoned) >= 1
+
+
+class TestInterruptDrain:
+    def test_sigint_drains_running_points_and_abandons_the_rest(self):
+        recorder = _Recorder()
+        pool = _pool(_sleepy, jobs=2, drain_grace_s=10.0)
+
+        def fire():
+            time.sleep(0.15)  # mid first wave
+            os.kill(os.getpid(), signal.SIGINT)
+
+        threading.Thread(target=fire, daemon=True).start()
+        with pytest.raises(KeyboardInterrupt):
+            pool.run(
+                [(index, index, 0) for index in range(4)], recorder.hooks()
+            )
+        # The two in-flight points finished inside the grace period and
+        # their results were recorded; the undispatched two were
+        # abandoned as interrupted, not silently dropped.
+        ok = {
+            index
+            for index, (status, _payload) in recorder.finals.items()
+            if status == "ok"
+        }
+        abandoned = {index for index, _reason in recorder.abandoned}
+        assert ok == {0, 1}
+        assert abandoned == {2, 3}
+        assert all(
+            reason == "interrupted" for _index, reason in recorder.abandoned
+        )
+
+    def test_drain_that_finishes_everything_is_not_an_interrupt(self):
+        # When every point was already running and all of them finish
+        # inside the grace period, the campaign is complete — no
+        # KeyboardInterrupt, nothing abandoned.
+        recorder = _Recorder()
+        pool = _pool(_sleepy, jobs=2, drain_grace_s=10.0)
+
+        def fire():
+            time.sleep(0.15)
+            os.kill(os.getpid(), signal.SIGINT)
+
+        threading.Thread(target=fire, daemon=True).start()
+        pool.run([(0, 0, 0), (1, 1, 0)], recorder.hooks())
+        assert recorder.finals == {0: ("ok", 0), 1: ("ok", 1)}
+        assert recorder.abandoned == []

@@ -111,3 +111,21 @@ class TestMetricRegistry:
         assert [name for name, _ in registry.counters()] == [
             "alpha", "mid", "zeta"
         ]
+
+    def test_merge_adds_counters_and_overwrites_gauges(self):
+        left = MetricRegistry()
+        left.inc("shared", 2)
+        left.inc("left-only")
+        left.set_gauge("level", 1.0)
+        right = MetricRegistry()
+        right.inc("shared", 3)
+        right.inc("right-only")
+        right.set_gauge("level", 9.0)
+        merged = left.merge(right)
+        assert merged is left  # chains
+        assert left.count("shared") == 5
+        assert left.count("left-only") == 1
+        assert left.count("right-only") == 1
+        assert left.gauge("level") == 9.0
+        # The source registry is untouched.
+        assert right.count("shared") == 3
