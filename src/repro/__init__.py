@@ -12,32 +12,46 @@ The package is organized as substrates plus the paper's contribution:
 * :mod:`repro.core` — the scheduling algorithms (FIFO, static, dynamic,
   and the envelope-extension algorithm);
 * :mod:`repro.service` — the four-step service model simulator;
+* :mod:`repro.federation` — multi-library fleets behind a global
+  scheduler tier with cross-library replication;
 * :mod:`repro.experiments` — configs, runs, and per-figure regeneration;
 * :mod:`repro.analysis` — cost-performance model and Theorem-2 helpers.
 
-Quickstart::
+Quickstart (one run surface for every config kind)::
 
-    from repro import ExperimentConfig, run_experiment
+    from repro import ExperimentConfig, run
 
-    result = run_experiment(ExperimentConfig(
+    result = run(ExperimentConfig(
         scheduler="envelope-max-bandwidth", replicas=9,
         start_position=1.0, queue_length=60, horizon_s=200_000,
     ))
     print(result.report)
+
+``run`` also accepts :class:`repro.service.farm.FarmConfig` and
+:class:`repro.federation.FederationConfig`; the legacy
+``run_experiment``/``run_farm`` entry points still work but emit a
+``DeprecationWarning``.
 """
 
+from .api import run
 from .experiments.config import ExperimentConfig
 from .experiments.runner import ExperimentResult, build_simulator, run_experiment
+from .federation import FederationConfig, LibraryConfig
 from .layout.placement import Layout, PlacementSpec
+from .service.farm import FarmConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "FarmConfig",
+    "FederationConfig",
     "Layout",
+    "LibraryConfig",
     "PlacementSpec",
     "build_simulator",
+    "run",
     "run_experiment",
     "__version__",
 ]

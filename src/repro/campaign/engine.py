@@ -6,7 +6,7 @@ is an implementation detail; results are keyed by config, and a given
 config's result is bit-identical whether it ran serially, in a worker
 process, on a retry after its first worker was killed, or came from
 the cache — workers receive the full config (seed included) and run
-the exact same :func:`run_experiment`.
+the exact same :func:`repro.api.run`.
 
 Failure handling is layered:
 
@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..experiments.config import ExperimentConfig
-from ..experiments.runner import ExperimentResult, run_experiment
+from ..experiments.runner import ExperimentResult
 from ..obs import MetricRegistry
 from ..rng import derive_seed
 from .cache import ResultCache
@@ -186,7 +186,8 @@ class Campaign:
         progress: optional per-point callback (see
             :class:`~repro.campaign.progress.ProgressEvent`).
         runner: the function executed per config.  Must be picklable
-            when ``jobs > 1`` (the default, :func:`run_experiment`, is).
+            when ``jobs > 1`` (the default, :func:`repro.api.run`, is;
+            it dispatches experiment, farm, and federation configs).
         salt: cache-key code-version salt (see
             :data:`~repro.campaign.hashing.CODE_VERSION`).
         point_timeout_s: wall-clock budget per executed point; a point
@@ -233,7 +234,7 @@ class Campaign:
         jobs: int = 1,
         cache_dir=None,
         progress: Optional[ProgressCallback] = None,
-        runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+        runner: Optional[Callable[[ExperimentConfig], ExperimentResult]] = None,
         salt: str = CODE_VERSION,
         point_timeout_s: Optional[float] = None,
         journal_path=None,
@@ -282,6 +283,13 @@ class Campaign:
         else:
             self.cache = ResultCache(cache_dir, salt=salt, metrics=self.metrics)
         self.progress = progress
+        if runner is None:
+            # The unified facade: experiment, farm, and federation
+            # configs all execute through one picklable entry point.
+            # Imported lazily — repro.api sits above this package.
+            from ..api import run
+
+            runner = run
         self.runner = runner
         #: Stats of the most recent :meth:`submit` (None before any).
         self.last_stats: Optional[CampaignStats] = None

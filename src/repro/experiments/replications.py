@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 
 from ..stats.batchmeans import ConfidenceInterval, t_quantile_975
 from .config import ExperimentConfig
-from .runner import ExperimentResult, run_experiment
+from .runner import ExperimentResult, _run_experiment
 
 
 @dataclass(frozen=True)
@@ -64,7 +64,7 @@ def _interval(values: Sequence[float]) -> ConfidenceInterval:
 def replicate(
     config: ExperimentConfig,
     replications: int = 5,
-    runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+    runner: Callable[[ExperimentConfig], ExperimentResult] = _run_experiment,
     campaign=None,
 ) -> ReplicationReport:
     """Run ``config`` under ``replications`` derived seeds.

@@ -1,0 +1,56 @@
+"""Multi-library federation: a fleet of jukeboxes behind a global tier.
+
+The paper optimizes one library; this package scales the replication
+idea out one level.  A :class:`FederationConfig` describes N possibly
+heterogeneous libraries, a :class:`~repro.federation.replica.
+ReplicaRegistry` records which libraries hold a copy of each block, and
+a pluggable global policy (:mod:`repro.federation.registry`) routes
+each request to one library's local scheduler.  Per-library simulation
+reuses the existing service loops unchanged.
+
+Run federations through :func:`repro.api.run` (or directly via
+:func:`run_federation`); see docs/FEDERATION.md.
+"""
+
+from .config import LibraryConfig, FederationConfig, PLACEMENTS
+from .policies import (
+    FleetState,
+    GlobalPolicy,
+    LeastQueuePolicy,
+    PassThroughPolicy,
+    PredictedServicePolicy,
+    RoundRobinPolicy,
+)
+from .registry import global_policy_names, make_global_policy
+from .replica import ReplicaRegistry, apportion
+from .report import FederationReport, federation_report_digest
+from .runner import (
+    FederationResult,
+    library_config,
+    predicted_service_s,
+    route_fleet,
+    run_federation,
+)
+
+__all__ = [
+    "FederationConfig",
+    "FederationReport",
+    "FederationResult",
+    "FleetState",
+    "GlobalPolicy",
+    "LeastQueuePolicy",
+    "LibraryConfig",
+    "PassThroughPolicy",
+    "PLACEMENTS",
+    "PredictedServicePolicy",
+    "ReplicaRegistry",
+    "RoundRobinPolicy",
+    "apportion",
+    "federation_report_digest",
+    "global_policy_names",
+    "library_config",
+    "make_global_policy",
+    "predicted_service_s",
+    "route_fleet",
+    "run_federation",
+]

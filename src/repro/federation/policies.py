@@ -1,0 +1,119 @@
+"""Global routing policies: which library serves each request.
+
+The two-level design follows the global→local scheduler split used by
+LLM-serving simulators (vidur's ``BaseGlobalScheduler``, Helix's
+``GlobalFlowScheduler``): a policy object at the fleet tier picks one
+library per request from the block's holder set, and the chosen
+library's *local* scheduler (any of the paper's fourteen, via
+:mod:`repro.core.registry`) orders the physical tape work.
+
+Policies are deliberately cheap and deterministic: they see only the
+:class:`FleetState` (routed-so-far counts and static per-library
+service-time estimates) and the holder tuple, never the RNG, so a
+routing trace is a pure function of the arrival sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class FleetState:
+    """What a routing policy may observe about the fleet."""
+
+    #: Requests routed to each library so far (the queue-depth proxy).
+    routed: List[int]
+    #: Static mean-service-time estimate per library, seconds; derived
+    #: from each library's timing model, speedup, and drive count.
+    predicted_service_s: Tuple[float, ...] = ()
+    #: Monotone per-request counter (drives round-robin rotation).
+    sequence: int = field(default=0)
+
+    @property
+    def size(self) -> int:
+        return len(self.routed)
+
+
+class GlobalPolicy:
+    """Base class: route one request to one library."""
+
+    #: Name under which the policy is registered.
+    name = "base"
+    #: When True the runner skips the routing phase entirely and falls
+    #: back to the farm's even queue split (see PassThroughPolicy).
+    bypass_routing = False
+
+    def route(self, block: int, holders: Sequence[int], state: FleetState) -> int:
+        raise NotImplementedError
+
+
+class PassThroughPolicy(GlobalPolicy):
+    """No global tier: valid only for a single-library federation.
+
+    The runner bypasses routing and hands the whole closed population
+    to library 0 — bit-identical to the farm/single-library path, which
+    is exactly what the golden-hash equivalence tests pin.
+    """
+
+    name = "pass-through"
+    bypass_routing = True
+
+    def route(self, block: int, holders: Sequence[int], state: FleetState) -> int:
+        if state.size != 1:  # pragma: no cover - runner validates earlier
+            raise ValueError("pass-through requires exactly one library")
+        return holders[0]
+
+
+class RoundRobinPolicy(GlobalPolicy):
+    """Rotate over the holder set as requests arrive.
+
+    Oblivious to load and hardware; the baseline every informed policy
+    must beat.
+    """
+
+    name = "round-robin"
+
+    def route(self, block: int, holders: Sequence[int], state: FleetState) -> int:
+        choice = holders[state.sequence % len(holders)]
+        state.sequence += 1
+        return choice
+
+
+class LeastQueuePolicy(GlobalPolicy):
+    """Send each request to the holder with the fewest routed requests.
+
+    The classic join-the-shortest-queue heuristic at library
+    granularity; ties break toward the lowest library index.
+    """
+
+    name = "least-queue"
+
+    def route(self, block: int, holders: Sequence[int], state: FleetState) -> int:
+        return min(holders, key=lambda index: (state.routed[index], index))
+
+
+class PredictedServicePolicy(GlobalPolicy):
+    """Minimize estimated completion time, not just queue depth.
+
+    Queue depth alone misroutes on heterogeneous fleets: ten requests
+    queued at a fast two-drive library may clear sooner than four at a
+    slow one.  This policy weights depth by each library's static mean
+    service estimate — ``(routed + 1) * predicted_service_s`` — the
+    same service-demand shaping Helix's flow scheduler applies per
+    replica.  Falls back to least-queue when no estimates are present.
+    """
+
+    name = "predicted-service"
+
+    def route(self, block: int, holders: Sequence[int], state: FleetState) -> int:
+        if not state.predicted_service_s:
+            return min(holders, key=lambda index: (state.routed[index], index))
+        return min(
+            holders,
+            key=lambda index: (
+                (state.routed[index] + 1) * state.predicted_service_s[index],
+                index,
+            ),
+        )

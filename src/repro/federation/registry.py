@@ -1,0 +1,52 @@
+"""Global-policy registry: name -> fresh policy instance.
+
+The exact pattern of :mod:`repro.core.registry`, one tier up: local
+schedulers and global routing policies are both string-keyed families
+constructed through a factory lookup, so the CLI, figures, and campaign
+configs select either tier the same way.
+
+Policies carry routing state (round-robin cursors), so every lookup
+returns a new instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .policies import (
+    GlobalPolicy,
+    LeastQueuePolicy,
+    PassThroughPolicy,
+    PredictedServicePolicy,
+    RoundRobinPolicy,
+)
+
+
+def _build_registry() -> Dict[str, Callable[[], GlobalPolicy]]:
+    registry: Dict[str, Callable[[], GlobalPolicy]] = {}
+    for policy_class in (
+        PassThroughPolicy,
+        RoundRobinPolicy,
+        LeastQueuePolicy,
+        PredictedServicePolicy,
+    ):
+        registry[policy_class.name] = policy_class
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def global_policy_names() -> List[str]:
+    """All registered global policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_global_policy(name: str) -> GlobalPolicy:
+    """Instantiate the global policy registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(global_policy_names())
+        raise KeyError(f"unknown global policy {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,164 @@
+"""Cross-library replica registry: which libraries hold which blocks.
+
+The registry extends the paper's capacity accounting (Section 4.8) to a
+fleet: the federation's physical slot pool is the sum of every
+library's ``tape_count * floor(capacity_mb / block_mb)``, and the
+feasible ``(n_logical, n_hot)`` budget comes from the same
+:func:`~repro.layout.placement.logical_block_budget` solver a single
+library uses — ``n_logical + NR * n_hot <= fleet_slots``.
+
+Blocks get *home* libraries by slot share (largest-remainder
+apportionment, so heterogeneous libraries hold data proportional to
+their capacity and the assignment is deterministic).  Hot block ids are
+``0 .. n_hot-1``, cold ids follow, matching the single-library catalog
+convention.  Placement then decides where a hot block's NR extra copies
+live:
+
+* ``home`` — all copies inside the home library (on distinct tapes, the
+  paper's scheme); only the home library can serve the block.
+* ``spread`` — copy ``c`` lives in library ``(home + c) % size``; any
+  of the NR+1 holders can serve the block, which is what gives the
+  global tier routing freedom.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Tuple
+
+from ..layout.placement import logical_block_budget
+from .config import FederationConfig
+
+
+def apportion(total: int, weights: List[float]) -> List[int]:
+    """Split ``total`` integer units proportionally to ``weights``.
+
+    Largest-remainder (Hamilton) apportionment: exact, deterministic,
+    ties broken toward the lower index.  Zero-weight entries get zero.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total!r}")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    quotas = [total * weight / weight_sum for weight in weights]
+    shares = [int(quota) for quota in quotas]
+    leftover = total - sum(shares)
+    # Stable sort on descending fractional remainder → lower index wins ties.
+    order = sorted(
+        range(len(weights)), key=lambda i: quotas[i] - shares[i], reverse=True
+    )
+    for i in order[:leftover]:
+        shares[i] += 1
+    return shares
+
+
+class ReplicaRegistry:
+    """Block → holder-libraries map for one :class:`FederationConfig`."""
+
+    def __init__(self, config: FederationConfig) -> None:
+        self.config = config
+        self.size = config.size
+        #: Physical block slots per library.
+        self.slots: Tuple[int, ...] = tuple(
+            library.tape_count * int(library.capacity_mb / config.block_mb)
+            for library in config.libraries
+        )
+        for index, slots in enumerate(self.slots):
+            if slots < 1:
+                raise ValueError(
+                    f"library {index} holds no blocks: capacity_mb "
+                    f"{config.libraries[index].capacity_mb} < block_mb "
+                    f"{config.block_mb}"
+                )
+        self.fleet_slots = sum(self.slots)
+        self.n_logical, self.n_hot = logical_block_budget(
+            self.fleet_slots, config.fleet_replicas, config.percent_hot
+        )
+        self.n_cold = self.n_logical - self.n_hot
+        weights = [float(slots) for slots in self.slots]
+        #: Hot primaries / cold blocks homed at each library.
+        self.hot_counts: List[int] = apportion(self.n_hot, weights)
+        self.cold_counts: List[int] = apportion(self.n_cold, weights)
+        # Prefix sums (cumulative ends) for O(log n) home lookup.
+        self._hot_ends: List[int] = []
+        self._cold_ends: List[int] = []
+        running = 0
+        for count in self.hot_counts:
+            running += count
+            self._hot_ends.append(running)
+        running = 0
+        for count in self.cold_counts:
+            running += count
+            self._cold_ends.append(running)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def home(self, block: int) -> int:
+        """The library a block's primary copy is homed at."""
+        if not 0 <= block < self.n_logical:
+            raise ValueError(
+                f"block {block!r} outside the fleet catalog "
+                f"[0, {self.n_logical})"
+            )
+        if block < self.n_hot:
+            return bisect_right(self._hot_ends, block)
+        return bisect_right(self._cold_ends, block - self.n_hot)
+
+    def is_hot(self, block: int) -> bool:
+        """True when ``block`` is in the hot set."""
+        return 0 <= block < self.n_hot
+
+    def holders(self, block: int) -> Tuple[int, ...]:
+        """Libraries holding a readable copy of ``block`` (home first)."""
+        home = self.home(block)
+        if (
+            block >= self.n_hot
+            or self.config.fleet_replicas == 0
+            or self.config.placement == "home"
+        ):
+            return (home,)
+        return tuple(
+            (home + c) % self.size for c in range(self.config.fleet_replicas + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Per-library derived layout (feeds the local ExperimentConfig)
+    # ------------------------------------------------------------------
+    def local_hot_stored(self, index: int) -> int:
+        """Hot blocks physically stored at library ``index``.
+
+        Under ``spread`` the incoming copies of other libraries' hot
+        blocks count — they occupy slots and enlarge the local hot run.
+        Under ``home`` only the primaries count; the local NR copies are
+        modelled by the library's own replication layout.
+        """
+        stored = self.hot_counts[index]
+        if self.config.placement == "spread":
+            for c in range(1, self.config.fleet_replicas + 1):
+                stored += self.hot_counts[(index - c) % self.size]
+        return stored
+
+    def local_percent_hot(self, index: int) -> float:
+        """The PH the library's local catalog should be built with.
+
+        ``home`` keeps the fleet PH exactly (each library is a shrunken
+        copy of the paper's layout, which also keeps the 1-library
+        federation bit-identical to the farm path).  ``spread`` boosts
+        PH by the incoming copies so the local hot run reflects the
+        extra hot data the library physically stores.
+        """
+        if self.config.placement == "home":
+            return self.config.percent_hot
+        hot = self.local_hot_stored(index)
+        cold = self.cold_counts[index]
+        if hot + cold == 0:
+            return self.config.percent_hot
+        return min(100.0, 100.0 * hot / (hot + cold))
+
+    def local_replicas(self, index: int) -> int:
+        """The NR the library's local catalog should be built with."""
+        if self.config.placement == "home":
+            return self.config.fleet_replicas
+        return 0

@@ -11,26 +11,33 @@ hash stably across runs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Tuple, Union
+
+__all__ = ["MetricRegistry"]
+
+#: Counters accept ints and floats alike: event counts stay exact ints,
+#: while additive report quantities (throughput, weighted response-time
+#: numerators) roll up through the same counter machinery.
+Numeric = Union[int, float]
 
 
 class MetricRegistry:
     """Named counters (monotonic) and gauges (last value)."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
+        self._counters: Dict[str, Numeric] = {}
         self._gauges: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------
-    def inc(self, name: str, by: int = 1) -> int:
+    def inc(self, name: str, by: Numeric = 1) -> Numeric:
         """Increment counter ``name`` by ``by``; returns the new value."""
         value = self._counters.get(name, 0) + by
         self._counters[name] = value
         return value
 
-    def count(self, name: str) -> int:
+    def count(self, name: str) -> Numeric:
         """Current value of counter ``name`` (0 if never incremented)."""
         return self._counters.get(name, 0)
 
@@ -64,7 +71,7 @@ class MetricRegistry:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def counters(self) -> Iterator[Tuple[str, int]]:
+    def counters(self) -> Iterator[Tuple[str, Numeric]]:
         """All counters in sorted name order."""
         return iter(sorted(self._counters.items()))
 

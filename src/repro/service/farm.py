@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from ..rng import derive_seed
 from .metrics import MetricsReport
+from .rollup import ReportRollup
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a circular runtime import
     from ..experiments.config import ExperimentConfig
@@ -30,12 +31,22 @@ if TYPE_CHECKING:  # pragma: no cover - avoid a circular runtime import
 
 @dataclass(frozen=True)
 class FarmReport:
-    """Aggregate metrics of a farm plus the per-jukebox reports."""
+    """Aggregate metrics of a farm plus the per-jukebox reports.
+
+    All additive aggregates delegate to :class:`~repro.service.rollup.
+    ReportRollup`, the same ``MetricRegistry.merge``-based fold that
+    backs :class:`~repro.federation.report.FederationReport`.
+    """
 
     per_jukebox: List[MetricsReport]
     #: Per-jukebox traces, parallel to :attr:`per_jukebox`; empty unless
     #: :func:`run_farm` was given a ``tracer_factory``.
     traces: List["Tracer"] = field(default_factory=list)
+
+    @property
+    def rollup(self) -> ReportRollup:
+        """The additive rollup over :attr:`per_jukebox`."""
+        return ReportRollup(self.per_jukebox)
 
     @property
     def size(self) -> int:
@@ -45,23 +56,17 @@ class FarmReport:
     @property
     def aggregate_throughput_kb_s(self) -> float:
         """Total farm throughput (sum over jukeboxes)."""
-        return sum(report.throughput_kb_s for report in self.per_jukebox)
+        return self.rollup.aggregate_throughput_kb_s
 
     @property
     def aggregate_requests_per_min(self) -> float:
         """Total farm completion rate."""
-        return sum(report.requests_per_min for report in self.per_jukebox)
+        return self.rollup.aggregate_requests_per_min
 
     @property
     def mean_response_s(self) -> float:
         """Completion-weighted mean response time across the farm."""
-        total_completed = sum(report.completed for report in self.per_jukebox)
-        if total_completed == 0:
-            return 0.0
-        weighted = sum(
-            report.mean_response_s * report.completed for report in self.per_jukebox
-        )
-        return weighted / total_completed
+        return self.rollup.mean_response_s
 
     @property
     def throughput_per_jukebox_kb_s(self) -> float:
@@ -74,39 +79,98 @@ class FarmReport:
     @property
     def total_shed(self) -> int:
         """Requests shed by admission control across the farm."""
-        return sum(report.shed_requests for report in self.per_jukebox)
+        return self.rollup.total_shed
 
     @property
     def total_expired(self) -> int:
         """Requests expired (TTL passed) across the farm."""
-        return sum(report.expired_requests for report in self.per_jukebox)
+        return self.rollup.total_expired
 
     @property
     def deadline_miss_rate(self) -> float:
         """Finished-work-weighted deadline-miss rate across the farm."""
-        finished = sum(
-            report.completed + report.expired_requests
-            for report in self.per_jukebox
-        )
-        if finished == 0:
-            return 0.0
-        misses = sum(report.deadline_misses for report in self.per_jukebox)
-        return misses / finished
+        return self.rollup.deadline_miss_rate
 
     @property
     def worst_p99_response_s(self) -> float:
         """Largest per-jukebox p99 response time (the farm's SLO tail)."""
-        return max(
-            (report.p99_response_s for report in self.per_jukebox), default=0.0
-        )
+        return self.rollup.worst_p99_response_s
 
     @property
     def saturated_count(self) -> int:
         """Jukeboxes whose measurement window completed nothing."""
-        return sum(1 for report in self.per_jukebox if report.saturated)
+        return self.rollup.saturated_count
 
 
-def run_farm(
+@dataclass(frozen=True)
+class FarmConfig:
+    """All knobs of one farm run, as a first-class config.
+
+    Historically farms were run positionally via :func:`run_farm`;
+    wrapping the same three knobs in a config dataclass gives farms the
+    identity every other run kind has — JSON round-trip, content
+    digests, campaign caching, and dispatch through
+    :func:`repro.api.run`.
+    """
+
+    #: The per-jukebox config (its ``queue_length`` and ``seed`` are
+    #: overridden per jukebox; everything else applies verbatim).
+    base: "ExperimentConfig"
+    jukebox_count: int = 2
+    #: Farm-wide closed population, split evenly over the jukeboxes.
+    total_queue_length: int = 60
+
+    def __post_init__(self) -> None:
+        if self.jukebox_count <= 0:
+            raise ValueError(
+                f"jukebox_count must be positive, got {self.jukebox_count!r}"
+            )
+        if self.total_queue_length < self.jukebox_count:
+            raise ValueError(
+                f"total queue {self.total_queue_length} cannot give every one "
+                f"of {self.jukebox_count} jukeboxes at least one request"
+            )
+        if not self.base.is_closed:
+            raise ValueError("farms are defined for the closed-queueing model")
+
+    @property
+    def warmup_s(self) -> float:
+        """Warm-up cutoff in simulated seconds (per jukebox)."""
+        return self.base.warmup_s
+
+    def describe(self) -> str:
+        """Compact annotation: the base config's plus the farm shape."""
+        return (
+            f"FARM-{self.jukebox_count} Q-{self.total_queue_length} "
+            f"{self.base.describe()}"
+        )
+
+    def with_(self, **overrides) -> "FarmConfig":
+        """A copy with ``overrides`` applied."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """A farm config together with its aggregate report."""
+
+    config: FarmConfig
+    report: FarmReport
+
+    @property
+    def aggregate_throughput_kb_s(self) -> float:
+        """Total farm throughput in KB/s."""
+        return self.report.aggregate_throughput_kb_s
+
+    @property
+    def mean_response_s(self) -> float:
+        """Completion-weighted farm mean response time."""
+        return self.report.mean_response_s
+
+
+def _run_farm(
     base: "ExperimentConfig",
     jukebox_count: int,
     total_queue_length: int,
@@ -123,16 +187,8 @@ def run_farm(
     per jukebox; each returned :class:`~repro.obs.Tracer` is attached to
     that jukebox's run and collected on :attr:`FarmReport.traces`.
     """
-    if jukebox_count <= 0:
-        raise ValueError(f"jukebox_count must be positive, got {jukebox_count!r}")
-    if total_queue_length < jukebox_count:
-        raise ValueError(
-            f"total queue {total_queue_length} cannot give every one of "
-            f"{jukebox_count} jukeboxes at least one request"
-        )
-    if not base.is_closed:
-        raise ValueError("farms are defined for the closed-queueing model")
-    from ..experiments.runner import run_experiment  # circular-import guard
+    FarmConfig(base, jukebox_count, total_queue_length)  # shared validation
+    from ..experiments.runner import _run_experiment  # circular-import guard
 
     share, remainder = divmod(total_queue_length, jukebox_count)
     reports: List[MetricsReport] = []
@@ -144,7 +200,29 @@ def run_farm(
             seed=derive_seed(base.seed, f"farm:{index}") % (2**31),
         )
         obs = tracer_factory(index) if tracer_factory is not None else None
-        reports.append(run_experiment(config, obs=obs).report)
+        reports.append(_run_experiment(config, obs=obs).report)
         if obs is not None:
             traces.append(obs)
     return FarmReport(per_jukebox=reports, traces=traces)
+
+
+def run_farm(
+    base: "ExperimentConfig",
+    jukebox_count: int,
+    total_queue_length: int,
+    tracer_factory: Optional[Callable[[int], "Tracer"]] = None,
+) -> FarmReport:
+    """Deprecated entry point: route through :func:`repro.api.run`.
+
+    Signature and return type are unchanged; new code should call
+    ``repro.api.run(FarmConfig(base, jukebox_count, total_queue_length))``
+    and use the returned :class:`FarmResult`.
+    """
+    from ..api import _warn_deprecated, run
+
+    _warn_deprecated(
+        "run_farm",
+        "repro.api.run(FarmConfig(base, jukebox_count, total_queue_length))",
+    )
+    config = FarmConfig(base, jukebox_count, total_queue_length)
+    return run(config, tracer_factory=tracer_factory).report

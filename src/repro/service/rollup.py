@@ -1,0 +1,144 @@
+"""Additive rollup of :class:`MetricsReport` sets via ``MetricRegistry``.
+
+Farms and federations both need the same aggregation: sum the additive
+quantities of N per-library reports (throughput, completions, shed and
+expired counts, weighted response-time numerators) and derive the
+ratios from the sums.  Before this module each aggregate was a bespoke
+``sum(...)`` comprehension on :class:`~repro.service.farm.FarmReport`;
+now one conversion (:func:`report_registry`) maps a report onto named
+counters and one fold (:func:`merge_reports`) accumulates any number of
+them through :meth:`repro.obs.MetricRegistry.merge` — the same
+mechanism campaigns use to aggregate reliability counters.
+
+Addition order is the report order, exactly as the historical
+comprehensions summed, so every rolled-up float is bit-identical to the
+pre-rollup implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..obs.registry import MetricRegistry
+from .metrics import MetricsReport
+
+#: Additive ``MetricsReport`` fields rolled straight into counters.
+ADDITIVE_FIELDS = (
+    "completed",
+    "arrivals",
+    "total_completed",
+    "throughput_kb_s",
+    "requests_per_min",
+    "tape_switches",
+    "shed_requests",
+    "expired_requests",
+    "deadline_misses",
+    "retries",
+    "failovers",
+    "failed_requests",
+    "drive_failures",
+    "forced_promotions",
+    "breaker_trips",
+)
+
+#: Derived counters (weighted-mean numerators and denominators).
+DERIVED_COUNTERS = (
+    "response_weighted_s",
+    "finished_with_expired",
+    "saturated",
+)
+
+
+def report_registry(report: MetricsReport) -> MetricRegistry:
+    """One report's additive quantities as a :class:`MetricRegistry`.
+
+    Counter names are the report field names, plus three derived ones:
+    ``response_weighted_s`` (mean response x completions, the weighted
+    mean numerator), ``finished_with_expired`` (completed + expired, the
+    deadline-miss-rate denominator), and ``saturated`` (0/1, so the
+    merged counter is the saturated-library count).
+    """
+    registry = MetricRegistry()
+    for name in ADDITIVE_FIELDS:
+        registry.inc(name, getattr(report, name))
+    registry.inc("response_weighted_s", report.mean_response_s * report.completed)
+    registry.inc("finished_with_expired", report.completed + report.expired_requests)
+    registry.inc("saturated", 1 if report.saturated else 0)
+    return registry
+
+
+def merge_reports(reports: Iterable[MetricsReport]) -> MetricRegistry:
+    """Fold per-library reports into one additive registry.
+
+    Built on :meth:`MetricRegistry.merge`, so the result composes with
+    any other registry (e.g. campaign reliability counters) and keeps
+    the left-to-right addition order of the input sequence.
+    """
+    merged = MetricRegistry()
+    for report in reports:
+        merged.merge(report_registry(report))
+    return merged
+
+
+class ReportRollup:
+    """Shared aggregate view over per-library reports.
+
+    The property set mirrors what :class:`~repro.service.farm.FarmReport`
+    has always exposed; :class:`~repro.federation.report.FederationReport`
+    exposes the same rollup for a fleet of libraries.
+    """
+
+    def __init__(self, reports: Sequence[MetricsReport]) -> None:
+        self.reports = list(reports)
+        self.registry = merge_reports(self.reports)
+
+    @property
+    def size(self) -> int:
+        """Number of rolled-up reports."""
+        return len(self.reports)
+
+    @property
+    def aggregate_throughput_kb_s(self) -> float:
+        """Total throughput (sum over libraries)."""
+        return self.registry.count("throughput_kb_s")
+
+    @property
+    def aggregate_requests_per_min(self) -> float:
+        """Total completion rate (sum over libraries)."""
+        return self.registry.count("requests_per_min")
+
+    @property
+    def mean_response_s(self) -> float:
+        """Completion-weighted mean response time."""
+        completed = self.registry.count("completed")
+        if completed == 0:
+            return 0.0
+        return self.registry.count("response_weighted_s") / completed
+
+    @property
+    def total_shed(self) -> int:
+        """Requests shed by admission control across the set."""
+        return self.registry.count("shed_requests")
+
+    @property
+    def total_expired(self) -> int:
+        """Requests expired (TTL passed) across the set."""
+        return self.registry.count("expired_requests")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Finished-work-weighted deadline-miss rate across the set."""
+        finished = self.registry.count("finished_with_expired")
+        if finished == 0:
+            return 0.0
+        return self.registry.count("deadline_misses") / finished
+
+    @property
+    def worst_p99_response_s(self) -> float:
+        """Largest per-library p99 response time (the fleet's SLO tail)."""
+        return max((report.p99_response_s for report in self.reports), default=0.0)
+
+    @property
+    def saturated_count(self) -> int:
+        """Libraries whose measurement window completed nothing."""
+        return self.registry.count("saturated")

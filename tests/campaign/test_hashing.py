@@ -19,8 +19,21 @@ class TestCanonicalJson:
         import json
 
         rendered = json.loads(canonical_config_json(ExperimentConfig()))
+        assert rendered["kind"] == "experiment"
         for field in dataclasses.fields(ExperimentConfig):
-            assert field.name in rendered
+            assert field.name in rendered["config"]
+
+    def test_kind_keeps_address_spaces_disjoint(self):
+        from repro.federation import FederationConfig, LibraryConfig
+
+        experiment = canonical_config_json(ExperimentConfig())
+        federation = canonical_config_json(
+            FederationConfig(libraries=(LibraryConfig(),), queue_length=60)
+        )
+        import json
+
+        assert json.loads(federation)["kind"] == "federation"
+        assert experiment != federation
 
 
 class TestConfigDigest:

@@ -1,0 +1,89 @@
+"""The unified run surface: dispatch by config kind, deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import _DEPRECATIONS_EMITTED, run
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.federation import FederationConfig, LibraryConfig
+from repro.federation.runner import FederationResult
+from repro.service.farm import FarmConfig, FarmResult, run_farm
+
+FAST = dict(queue_length=5, horizon_s=5_000.0, tape_count=4, capacity_mb=500.0)
+
+
+class TestDispatch:
+    def test_experiment_config_runs_an_experiment(self):
+        result = run(ExperimentConfig(**FAST))
+        assert isinstance(result, ExperimentResult)
+        assert result.report.completed > 0
+
+    def test_farm_config_runs_a_farm(self):
+        result = run(FarmConfig(ExperimentConfig(**FAST), 2, 10))
+        assert isinstance(result, FarmResult)
+        assert result.report.size == 2
+
+    def test_federation_config_runs_a_federation(self):
+        config = FederationConfig(
+            libraries=(LibraryConfig(tape_count=4, capacity_mb=500.0),),
+            global_policy="pass-through",
+            placement="home",
+            queue_length=5,
+            horizon_s=5_000.0,
+        )
+        result = run(config)
+        assert isinstance(result, FederationResult)
+        assert result.report.size == 1
+
+    def test_unknown_config_type_raises(self):
+        with pytest.raises(TypeError, match="accepts ExperimentConfig"):
+            run({"queue_length": 5})
+
+    def test_experiment_rejects_tracer_factory(self):
+        with pytest.raises(TypeError, match="tracer_factory"):
+            run(ExperimentConfig(**FAST), tracer_factory=lambda index: None)
+
+
+class TestDeprecationShims:
+    def _reset(self):
+        _DEPRECATIONS_EMITTED.clear()
+
+    def test_run_experiment_warns_once_and_matches_run(self):
+        self._reset()
+        config = ExperimentConfig(**FAST)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = run_experiment(config)
+            run_experiment(config)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api.run" in str(deprecations[0].message)
+        assert shimmed.report == run(config).report
+
+    def test_run_farm_warns_once_and_matches_run(self):
+        self._reset()
+        base = ExperimentConfig(**FAST)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = run_farm(base, 2, 10)
+            run_farm(base, 2, 10)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert shimmed.per_jukebox == run(FarmConfig(base, 2, 10)).report.per_jukebox
+
+    def test_shims_warn_independently(self):
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_experiment(ExperimentConfig(**FAST))
+            run_farm(ExperimentConfig(**FAST), 1, 5)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2

@@ -1,0 +1,109 @@
+"""Federation points through the campaign engine: cache, resume, hashing."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, ResultCache
+from repro.campaign.hashing import config_digest
+from repro.experiments import ExperimentConfig
+from repro.experiments.store import result_from_dict, result_to_dict
+from repro.federation import FederationConfig, LibraryConfig
+from repro.federation.report import federation_report_digest
+from repro.federation.runner import FederationResult
+
+FED = FederationConfig(
+    libraries=(
+        LibraryConfig(tape_count=4, capacity_mb=500.0),
+        LibraryConfig(tape_count=4, capacity_mb=500.0, drive_count=2),
+    ),
+    global_policy="least-queue",
+    queue_length=6,
+    horizon_s=5_000.0,
+)
+
+
+class TestHashing:
+    def test_digest_covers_fleet_knobs(self):
+        base = config_digest(FED)
+        assert config_digest(FED.with_(global_policy="round-robin")) != base
+        assert config_digest(FED.with_(fleet_replicas=1)) != base
+        assert config_digest(
+            FED.with_(libraries=(FED.libraries[0],), queue_length=6)
+        ) != base
+
+    def test_kinds_never_collide(self):
+        experiment = ExperimentConfig()
+        assert config_digest(experiment) != config_digest(FED)
+
+
+class TestResultRoundTrip:
+    def test_document_round_trips(self):
+        from repro.api import run
+
+        result = run(FED)
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        assert payload["kind"] == "federation"
+        restored = result_from_dict(payload)
+        assert isinstance(restored, FederationResult)
+        assert restored.config == FED
+        assert federation_report_digest(restored.report) == (
+            federation_report_digest(result.report)
+        )
+
+    def test_stale_schema_is_rejected(self):
+        from repro.api import run
+
+        payload = result_to_dict(run(FED))
+        payload["schema"] = "0000000000000000"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            result_from_dict(payload)
+
+
+class TestCampaignCache:
+    def test_second_submission_hits_the_cache(self, tmp_path):
+        first = Campaign(cache_dir=tmp_path).submit([FED])
+        assert first.stats.executed == 1
+        second = Campaign(cache_dir=tmp_path).submit([FED])
+        assert second.stats.cache_hits == 1
+        assert second.stats.executed == 0
+        assert federation_report_digest(second.results[0].report) == (
+            federation_report_digest(first.results[0].report)
+        )
+
+    def test_cache_is_keyed_by_fleet_config(self, tmp_path):
+        Campaign(cache_dir=tmp_path).submit([FED])
+        submission = Campaign(cache_dir=tmp_path).submit(
+            [FED.with_(global_policy="round-robin")]
+        )
+        assert submission.stats.cache_hits == 0
+        assert submission.stats.executed == 1
+
+    def test_salt_bump_invalidates_federation_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="v1")
+        from repro.api import run
+
+        cache.put(run(FED))
+        assert ResultCache(tmp_path, salt="v1").get(FED) is not None
+        assert ResultCache(tmp_path, salt="v2").get(FED) is None
+
+    def test_mixed_kind_submission(self, tmp_path):
+        experiment = ExperimentConfig(
+            queue_length=5, horizon_s=5_000.0, tape_count=4, capacity_mb=500.0
+        )
+        submission = Campaign(cache_dir=tmp_path).submit([FED, experiment])
+        assert len(submission.results) == 2
+        assert submission.require(FED).report.size == 2
+        assert submission.require(experiment).report.completed > 0
+
+
+class TestCampaignResume:
+    def test_journal_resume_skips_the_finished_point(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        campaign = Campaign(cache_dir=tmp_path / "cache", journal_path=journal)
+        campaign.submit([FED])
+        resumed = Campaign(
+            cache_dir=tmp_path / "cache", journal_path=journal
+        ).submit([FED, FED.with_(seed=7)], resume=True)
+        assert resumed.stats.executed == 1  # only the new seed runs
+        assert len(resumed.results) == 2

@@ -1,0 +1,123 @@
+"""FederationConfig / LibraryConfig validation and JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.experiments.store import (
+    federation_config_from_dict,
+    federation_config_to_dict,
+)
+from repro.faults import FaultConfig
+from repro.federation import FederationConfig, LibraryConfig
+from repro.qos import QoSConfig
+
+
+class TestLibraryValidation:
+    def test_defaults_are_valid(self):
+        library = LibraryConfig()
+        assert library.tape_count == 10
+        assert library.drive_count == 1
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"tape_count": 0},
+            {"capacity_mb": 0.0},
+            {"drive_count": 0},
+            {"drive_speedup": 0.0},
+            {"drive_technology": "laser"},
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(ValueError):
+            LibraryConfig(**overrides)
+
+
+class TestFederationValidation:
+    def test_defaults_are_a_homogeneous_pair(self):
+        config = FederationConfig()
+        assert config.size == 2
+        assert config.libraries[0] == config.libraries[1]
+        assert config.is_closed
+
+    def test_libraries_sequence_is_normalized_to_tuple(self):
+        config = FederationConfig(libraries=[LibraryConfig()], queue_length=60)
+        assert isinstance(config.libraries, tuple)
+        hash(config)  # stays usable as a campaign submission key
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="at least one library"):
+            FederationConfig(libraries=())
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown global policy"):
+            FederationConfig(global_policy="clairvoyant")
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            FederationConfig(placement="nearby")
+
+    def test_spread_caps_replicas_at_size_minus_one(self):
+        FederationConfig(placement="spread", fleet_replicas=1)
+        with pytest.raises(ValueError, match="spread placement"):
+            FederationConfig(placement="spread", fleet_replicas=2)
+
+    def test_home_caps_replicas_below_smallest_tape_count(self):
+        FederationConfig(placement="home", fleet_replicas=9)
+        with pytest.raises(ValueError, match="home placement"):
+            FederationConfig(placement="home", fleet_replicas=10)
+
+    def test_queue_must_cover_every_library(self):
+        with pytest.raises(ValueError, match="queue_length"):
+            FederationConfig(queue_length=1)
+
+    def test_describe_mentions_fleet_shape(self):
+        text = FederationConfig(fleet_replicas=1).describe()
+        assert text.startswith("FED-2 ")
+        assert "NR-1/spread" in text
+
+    def test_with_returns_modified_copy(self):
+        base = FederationConfig()
+        other = base.with_(queue_length=90)
+        assert other.queue_length == 90
+        assert base.queue_length == 60
+
+
+class TestJsonRoundTrip:
+    def test_plain_config(self):
+        config = FederationConfig(
+            libraries=(
+                LibraryConfig(drive_count=2, drive_speedup=1.5),
+                LibraryConfig(drive_technology="serpentine"),
+            ),
+            global_policy="least-queue",
+            placement="home",
+            fleet_replicas=2,
+        )
+        payload = json.loads(json.dumps(federation_config_to_dict(config)))
+        assert federation_config_from_dict(payload) == config
+
+    def test_nested_faults_and_qos(self):
+        config = FederationConfig(
+            faults=FaultConfig(media_error_rate=0.01),
+            qos=QoSConfig(),
+        )
+        payload = json.loads(json.dumps(federation_config_to_dict(config)))
+        restored = federation_config_from_dict(payload)
+        assert restored == config
+        assert isinstance(restored.faults, FaultConfig)
+        assert isinstance(restored.qos, QoSConfig)
+
+    def test_library_heterogeneity_survives(self):
+        config = FederationConfig(
+            libraries=(
+                LibraryConfig(tape_count=4, capacity_mb=500.0),
+                LibraryConfig(tape_count=16, scheduler="fifo"),
+            )
+        )
+        restored = federation_config_from_dict(
+            json.loads(json.dumps(federation_config_to_dict(config)))
+        )
+        assert restored.libraries == config.libraries
+        assert restored.libraries[1].scheduler == "fifo"

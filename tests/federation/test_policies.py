@@ -1,0 +1,101 @@
+"""Global routing policies and their string-keyed registry."""
+
+import pytest
+
+from repro.federation import (
+    FleetState,
+    global_policy_names,
+    make_global_policy,
+)
+from repro.federation.policies import (
+    LeastQueuePolicy,
+    PassThroughPolicy,
+    PredictedServicePolicy,
+    RoundRobinPolicy,
+)
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        names = global_policy_names()
+        assert names == sorted(names)
+        assert set(names) == {
+            "pass-through",
+            "round-robin",
+            "least-queue",
+            "predicted-service",
+        }
+
+    def test_factory_builds_each_policy(self):
+        for name in global_policy_names():
+            assert make_global_policy(name).name == name
+
+    def test_factory_rejects_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown global policy"):
+            make_global_policy("oracle")
+
+    def test_only_pass_through_bypasses_routing(self):
+        bypassing = [
+            name
+            for name in global_policy_names()
+            if make_global_policy(name).bypass_routing
+        ]
+        assert bypassing == ["pass-through"]
+
+
+class TestRoundRobin:
+    def test_rotates_over_holders(self):
+        policy = RoundRobinPolicy()
+        state = FleetState(routed=[0, 0, 0])
+        picks = [policy.route(0, (0, 2), state) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_sequence_spans_holder_sets(self):
+        policy = RoundRobinPolicy()
+        state = FleetState(routed=[0, 0])
+        first = policy.route(0, (0, 1), state)
+        second = policy.route(7, (1,), state)
+        third = policy.route(0, (0, 1), state)
+        assert (first, second, third) == (0, 1, 0)
+
+
+class TestLeastQueue:
+    def test_picks_the_shortest_queue(self):
+        policy = LeastQueuePolicy()
+        state = FleetState(routed=[5, 2, 9])
+        assert policy.route(0, (0, 1, 2), state) == 1
+
+    def test_ties_break_toward_lower_index(self):
+        policy = LeastQueuePolicy()
+        state = FleetState(routed=[3, 3])
+        assert policy.route(0, (0, 1), state) == 0
+
+    def test_only_holders_are_considered(self):
+        policy = LeastQueuePolicy()
+        state = FleetState(routed=[0, 9, 9])
+        assert policy.route(0, (1, 2), state) == 1
+
+
+class TestPredictedService:
+    def test_prefers_faster_library_under_equal_depth(self):
+        policy = PredictedServicePolicy()
+        state = FleetState(routed=[0, 0], predicted_service_s=(10.0, 2.0))
+        assert policy.route(0, (0, 1), state) == 1
+
+    def test_depth_eventually_outweighs_speed(self):
+        policy = PredictedServicePolicy()
+        state = FleetState(routed=[0, 9], predicted_service_s=(10.0, 2.0))
+        # (0+1)*10 = 10 < (9+1)*2 = 20 -> the slow-but-idle library wins.
+        assert policy.route(0, (0, 1), state) == 0
+
+    def test_falls_back_to_least_queue_without_estimates(self):
+        policy = PredictedServicePolicy()
+        state = FleetState(routed=[4, 1])
+        assert policy.route(0, (0, 1), state) == 1
+
+
+class TestPassThrough:
+    def test_routes_to_the_single_holder(self):
+        policy = PassThroughPolicy()
+        state = FleetState(routed=[0])
+        assert policy.route(0, (0,), state) == 0

@@ -1,0 +1,125 @@
+"""Cross-library replica registry: apportionment, homes, holders."""
+
+import pytest
+
+from repro.federation import FederationConfig, LibraryConfig, ReplicaRegistry
+from repro.federation.replica import apportion
+
+
+class TestApportion:
+    def test_exact_split(self):
+        assert apportion(10, [1.0, 1.0]) == [5, 5]
+
+    def test_largest_remainder_gets_the_leftover(self):
+        assert apportion(10, [1.0, 2.0]) == [3, 7]
+
+    def test_ties_break_toward_lower_index(self):
+        assert apportion(1, [1.0, 1.0]) == [1, 0]
+
+    def test_zero_weight_gets_zero(self):
+        assert apportion(7, [1.0, 0.0, 1.0]) == [4, 0, 3]
+
+    def test_total_is_conserved(self):
+        shares = apportion(97, [3.0, 1.0, 5.0, 2.0])
+        assert sum(shares) == 97
+
+    def test_rejects_nonpositive_weight_sum(self):
+        with pytest.raises(ValueError):
+            apportion(5, [0.0, 0.0])
+
+
+def _registry(**overrides) -> ReplicaRegistry:
+    defaults = dict(
+        libraries=(
+            LibraryConfig(tape_count=4, capacity_mb=512.0),
+            LibraryConfig(tape_count=8, capacity_mb=512.0),
+        ),
+        block_mb=16.0,
+        queue_length=60,
+    )
+    defaults.update(overrides)
+    return ReplicaRegistry(FederationConfig(**defaults))
+
+
+class TestRegistryLayout:
+    def test_slots_follow_library_hardware(self):
+        registry = _registry()
+        assert registry.slots == (4 * 32, 8 * 32)
+        assert registry.fleet_slots == 384
+
+    def test_homes_partition_the_catalog(self):
+        registry = _registry()
+        by_home = [0] * registry.size
+        for block in range(registry.n_logical):
+            by_home[registry.home(block)] += 1
+        assert by_home[0] == registry.hot_counts[0] + registry.cold_counts[0]
+        assert by_home[1] == registry.hot_counts[1] + registry.cold_counts[1]
+        assert sum(by_home) == registry.n_logical
+
+    def test_hot_blocks_lead_the_catalog(self):
+        registry = _registry()
+        assert registry.is_hot(0)
+        assert registry.is_hot(registry.n_hot - 1)
+        assert not registry.is_hot(registry.n_hot)
+
+    def test_home_is_proportional_to_slots(self):
+        registry = _registry()
+        # Library 1 has twice the slots, so roughly twice the homes.
+        assert registry.hot_counts[1] == pytest.approx(
+            2 * registry.hot_counts[0], abs=1
+        )
+
+    def test_out_of_range_block_raises(self):
+        registry = _registry()
+        with pytest.raises(ValueError):
+            registry.home(registry.n_logical)
+
+    def test_tiny_capacity_raises(self):
+        with pytest.raises(ValueError, match="holds no blocks"):
+            _registry(
+                libraries=(
+                    LibraryConfig(capacity_mb=8.0),
+                    LibraryConfig(),
+                )
+            )
+
+
+class TestHolders:
+    def test_cold_blocks_have_one_holder(self):
+        registry = _registry(fleet_replicas=1, placement="spread")
+        cold = registry.n_hot
+        assert registry.holders(cold) == (registry.home(cold),)
+
+    def test_home_placement_keeps_copies_local(self):
+        registry = _registry(fleet_replicas=1, placement="home")
+        assert registry.holders(0) == (registry.home(0),)
+
+    def test_spread_adds_the_next_libraries(self):
+        registry = _registry(fleet_replicas=1, placement="spread")
+        home = registry.home(0)
+        assert registry.holders(0) == (home, (home + 1) % registry.size)
+
+    def test_no_replicas_means_one_holder(self):
+        registry = _registry(fleet_replicas=0, placement="spread")
+        assert registry.holders(0) == (registry.home(0),)
+
+
+class TestLocalLayout:
+    def test_home_placement_preserves_fleet_ph_and_nr(self):
+        registry = _registry(fleet_replicas=2, placement="home")
+        for index in range(registry.size):
+            assert registry.local_percent_hot(index) == 10.0
+            assert registry.local_replicas(index) == 2
+
+    def test_spread_boosts_ph_and_zeroes_local_nr(self):
+        registry = _registry(fleet_replicas=1, placement="spread")
+        for index in range(registry.size):
+            assert registry.local_percent_hot(index) > 10.0
+            assert registry.local_replicas(index) == 0
+
+    def test_spread_counts_incoming_copies(self):
+        registry = _registry(fleet_replicas=1, placement="spread")
+        # Each library stores its own primaries plus the other's copies.
+        assert registry.local_hot_stored(0) == (
+            registry.hot_counts[0] + registry.hot_counts[1]
+        )
