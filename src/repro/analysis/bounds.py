@@ -66,9 +66,12 @@ def extension_round_trip_cost(
     head = envelope_mb
     startup = True
     for position in sorted(positions):
-        distance = position - head
-        if distance < 0:
+        # Same guard as ExtensionCostTracker.extend: a position equal to
+        # the previous one (distinct blocks co-located, or a re-read) is
+        # a zero-distance read, not an error.
+        if position < head - block_mb:
             raise ValueError(f"position {position} inside envelope {envelope_mb}")
+        distance = position - head
         if distance > 0:
             cost += timing.locate_forward(distance)
             startup = True

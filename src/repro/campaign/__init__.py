@@ -14,9 +14,11 @@ is the single choke point those families compile down to:
 * :class:`CampaignJournal` — durable ``repro-journal/1`` JSONL log of
   point lifecycle events enabling ``submit(..., resume=True)`` after a
   crash or Ctrl-C.
-* :class:`SupervisedPool` — heartbeat-monitored worker processes with
-  kill-and-requeue hang handling, transient-failure retries with
-  bounded exponential backoff, and graceful SIGINT/SIGTERM draining.
+* :class:`SupervisedPool` — persistent heartbeat-monitored workers fed
+  chunked point batches (one pickle per chunk, results streamed back
+  per point), with kill-and-requeue hang handling, transient-failure
+  retries with bounded exponential backoff, and graceful
+  SIGINT/SIGTERM draining.
 * :class:`ProgressPrinter` / :class:`ProgressEvent` — optional progress
   callbacks for long campaigns.
 
@@ -50,6 +52,7 @@ from .supervisor import (
     SupervisorHooks,
     WorkerCrashError,
     WorkerStallError,
+    auto_chunk_size,
     is_transient_error,
 )
 
@@ -73,6 +76,7 @@ __all__ = [
     "TRANSIENT_ERRORS",
     "WorkerCrashError",
     "WorkerStallError",
+    "auto_chunk_size",
     "canonical_config_json",
     "config_digest",
     "is_transient_error",

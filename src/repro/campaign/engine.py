@@ -48,7 +48,12 @@ from ..experiments.runner import ExperimentResult
 from ..obs import MetricRegistry
 from ..rng import derive_seed
 from .cache import ResultCache
-from .execution import PointTimeoutError, _execute_point, _wall_clock_limit
+from .execution import (
+    PointTimeoutError,
+    _execute_point,
+    _wall_clock_limit,
+    _warm_catalog_caches,
+)
 from .hashing import CODE_VERSION, config_digest
 from .journal import CampaignJournal, JournalState
 from .progress import ProgressCallback, ProgressEvent
@@ -100,6 +105,50 @@ class CampaignStats:
     def hit_fraction(self) -> float:
         """Fraction of unique points served from cache."""
         return self.cache_hits / self.unique if self.unique else 0.0
+
+
+def _catalog_warm_entries(configs, limit: int = 64) -> list:
+    """Distinct catalog-builder arguments the batch will need.
+
+    Mirrors the ``(spec, tape_count, capacity_mb, data_blocks,
+    replicas)`` key of ``repro.experiments.runner._cached_catalog`` for
+    every :class:`ExperimentConfig` in ``configs`` (farm/federation
+    configs carry their own nested placement and are skipped — their
+    points warm on demand).  Capped at ``limit`` (the runner cache
+    size): warming more than the cache can hold would evict itself.
+    """
+    from ..layout.placement import PlacementSpec
+
+    entries: list = []
+    seen = set()
+    for config in configs:
+        if not isinstance(config, ExperimentConfig):
+            continue
+        try:
+            spec = PlacementSpec(
+                layout=config.layout,
+                percent_hot=config.percent_hot,
+                replicas=config.replicas,
+                start_position=config.start_position,
+                block_mb=config.block_mb,
+                pack_cold=config.pack_cold,
+            )
+        except (AttributeError, TypeError, ValueError):
+            continue
+        entry = (
+            spec,
+            config.tape_count,
+            config.capacity_mb,
+            config.data_blocks,
+            config.replicas,
+        )
+        if entry in seen:
+            continue
+        seen.add(entry)
+        entries.append(entry)
+        if len(entries) >= limit:
+            break
+    return entries
 
 
 class CampaignPointError(RuntimeError):
@@ -212,6 +261,11 @@ class Campaign:
         metrics: a :class:`~repro.obs.MetricRegistry` to count
             reliability events into (default: a fresh private one,
             exposed as :attr:`metrics`).
+        chunk_size: points per worker dispatch message under
+            ``jobs > 1``; ``None`` (default) auto-sizes per batch (see
+            :func:`~repro.campaign.supervisor.auto_chunk_size`).
+            Retry, journal, and progress granularity stay per-point
+            either way.
         supervisor_options: extra keyword arguments for the
             :class:`~repro.campaign.supervisor.SupervisedPool`
             (``heartbeat_s``, ``stall_timeout_s``, ``hang_grace_s``,
@@ -244,12 +298,24 @@ class Campaign:
         backoff_cap_s: float = 30.0,
         abort_after: Optional[int] = None,
         metrics: Optional[MetricRegistry] = None,
+        chunk_size: Optional[int] = None,
         supervisor_options: Optional[dict] = None,
         profile_dir: Optional[str] = None,
         trace_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        cpu_count = os.cpu_count() or 1
+        if jobs > cpu_count:
+            warnings.warn(
+                f"jobs={jobs} exceeds this machine's {cpu_count} CPU(s); "
+                "workers will timeshare cores, so parallel 'speedup' "
+                "measures oversubscription, not throughput",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if point_timeout_s is not None and point_timeout_s <= 0:
             raise ValueError(
                 f"point_timeout_s must be positive, got {point_timeout_s!r}"
@@ -259,6 +325,7 @@ class Campaign:
         if abort_after is not None and abort_after < 1:
             raise ValueError(f"abort_after must be >= 1, got {abort_after!r}")
         self.jobs = jobs
+        self.chunk_size = chunk_size
         self.point_timeout_s = point_timeout_s
         self.salt = salt
         self.journal_path = journal_path
@@ -293,6 +360,10 @@ class Campaign:
         self.runner = runner
         #: Stats of the most recent :meth:`submit` (None before any).
         self.last_stats: Optional[CampaignStats] = None
+        #: Dispatch-overhead accounting of the most recent parallel
+        #: :meth:`submit` (payload bytes, chunk counts, worker startup
+        #: ms — see ``SupervisedPool.overhead``); None for serial runs.
+        self.last_overhead: Optional[dict] = None
 
     @staticmethod
     def derive_variants(
@@ -398,6 +469,7 @@ class Campaign:
         hooks = state.hooks()
         try:
             if self.jobs > 1 and len(pending) > 1:
+                warm_entries = _catalog_warm_entries(pending)
                 pool = SupervisedPool(
                     jobs=self.jobs,
                     runner=self.runner,
@@ -408,16 +480,27 @@ class Campaign:
                     backoff_base_s=self.backoff_base_s,
                     backoff_cap_s=self.backoff_cap_s,
                     metrics=self.metrics,
+                    chunk_size=self.chunk_size,
+                    initializer=(
+                        _warm_catalog_caches if warm_entries else None
+                    ),
+                    initializer_args=(
+                        (warm_entries,) if warm_entries else ()
+                    ),
                     **self.supervisor_options,
                 )
-                pool.run(
-                    [
-                        (index, config, prior_attempts[config])
-                        for index, config in enumerate(pending)
-                    ],
-                    hooks,
-                )
+                try:
+                    pool.run(
+                        [
+                            (index, config, prior_attempts[config])
+                            for index, config in enumerate(pending)
+                        ],
+                        hooks,
+                    )
+                finally:
+                    self.last_overhead = pool.overhead
             else:
+                self.last_overhead = None
                 self._run_serial(pending, prior_attempts, hooks, state)
         except KeyboardInterrupt:
             self.metrics.inc("campaign.interrupts")
@@ -502,6 +585,7 @@ class Campaign:
             index, config, attempts = queue.popleft()
             attempts += 1
             hooks.on_start(index, attempts)
+            point_started = time.perf_counter()
             _index, status, payload = _execute_point(
                 (
                     index,
@@ -512,6 +596,7 @@ class Campaign:
                     self.trace_dir,
                 )
             )
+            hooks.on_wall(index, time.perf_counter() - point_started)
             if status != "ok" and (
                 is_transient_error(payload[0]) and attempts < self.max_attempts
             ):
@@ -550,6 +635,10 @@ class _SubmissionState:
         self.finished = 0
         self.consecutive_failures = 0
         self.start_times: Dict[int, float] = {}
+        #: Worker-measured execution seconds, streamed per point; used
+        #: for journal wall times in preference to the parent-side
+        #: dispatch-to-final interval (which includes queue time).
+        self.wall_s: Dict[int, float] = {}
 
     # -- progress ------------------------------------------------------
     def emit(self, kind: str, config, attempt: int = 1) -> None:
@@ -575,7 +664,11 @@ class _SubmissionState:
             on_retry=self.on_retry,
             on_final=self.on_final,
             on_abandoned=self.on_abandoned,
+            on_wall=self.on_wall,
         )
+
+    def on_wall(self, index: int, wall_s: float) -> None:
+        self.wall_s[index] = wall_s
 
     def on_start(self, index: int, attempt: int) -> None:
         config = self.pending[index]
@@ -594,9 +687,11 @@ class _SubmissionState:
     def on_final(self, index: int, status: str, payload, attempts: int) -> bool:
         config = self.pending[index]
         campaign = self.campaign
-        wall_s = time.monotonic() - self.start_times.get(
-            index, time.monotonic()
-        )
+        wall_s = self.wall_s.pop(index, None)
+        if wall_s is None:
+            wall_s = time.monotonic() - self.start_times.get(
+                index, time.monotonic()
+            )
         if status == "ok":
             self.outcomes[config] = payload
             self.consecutive_failures = 0

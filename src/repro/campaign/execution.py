@@ -21,7 +21,34 @@ from typing import Callable, Optional, Tuple
 from ..experiments.config import ExperimentConfig
 from .hashing import config_digest
 
-__all__ = ["PointTimeoutError", "_execute_point", "_wall_clock_limit"]
+__all__ = [
+    "PointTimeoutError",
+    "_execute_point",
+    "_wall_clock_limit",
+    "_warm_catalog_caches",
+]
+
+
+def _warm_catalog_caches(entries) -> None:
+    """Worker initializer: pre-build catalogs the batch will need.
+
+    ``entries`` are ``(placement_spec, tape_count, capacity_mb,
+    data_blocks, replicas)`` tuples — the argument signature of
+    :func:`repro.experiments.runner._cached_catalog`.  Building them
+    here, once per worker before the first chunk arrives, moves the
+    catalog construction cost out of every point's critical path (the
+    per-process ``lru_cache`` would otherwise fault it in on first
+    use) and overlaps it with the parent's dispatch of the first
+    chunks.  Purely an optimization: any failure is swallowed — the
+    point execution path builds what it needs on demand.
+    """
+    from ..experiments.runner import _cached_catalog
+
+    for entry in entries:
+        try:
+            _cached_catalog(*entry)
+        except Exception:  # noqa: BLE001 - warming is best-effort
+            continue
 
 
 class PointTimeoutError(Exception):

@@ -12,22 +12,39 @@ module replaces that path with an explicitly supervised pool:
   ``multiprocessing.Queue`` can deadlock if a writer dies holding its
   feeder lock).  A dead worker is detected two ways: its result pipe
   hits EOF, or ``Process.is_alive()`` goes false while it holds a task.
+* **Chunked dispatch.**  Points are shipped in chunks (``chunk_size``
+  per message, auto-sized to the batch by default) rather than one
+  pickle round trip per point.  The chunk is pickled *once* in the
+  parent — configs that share sub-objects (a grid built with
+  ``config.with_(...)`` shares every unchanged sub-config by
+  reference) are serialized once per chunk through the pickle memo —
+  and the parent records the exact payload bytes it shipped.  Workers
+  stream one result message back per point as it finishes (with the
+  worker-measured wall time), so supervision, journaling, and progress
+  stay per-point even though dispatch is batched.
+* **Persistent workers + initializer.**  A worker lives for the whole
+  batch and can run an ``initializer`` once before its first chunk
+  (the engine uses this to pre-warm catalog caches), then sends a
+  ``ready`` handshake; the parent records per-worker startup
+  milliseconds for the overhead accounting in :attr:`overhead`.
 * **Heartbeats + deadlines.**  A daemon thread in every worker sends a
   beat every ``heartbeat_s``; the supervisor kills a busy worker whose
   beats stop for ``stall_timeout_s`` (process wedged below Python — D
-  state, C extension without the GIL released) or whose task exceeds
-  its wall-clock deadline (``point_timeout_s`` plus ``hang_grace_s``;
-  the in-worker SIGALRM usually fires first, the supervisor kill is the
-  portable backstop that also works where SIGALRM cannot).
+  state, C extension without the GIL released) or whose *current
+  point* exceeds its wall-clock deadline (``point_timeout_s`` plus
+  ``hang_grace_s``; the per-point timer restarts at every streamed
+  result, so a chunk of n points gets n budgets, not one).
 * **Classified retries.**  A worker *death* or *stall* is transient:
-  the point is requeued with bounded exponential backoff (non-blocking:
-  the requeued task carries a not-before time) up to ``max_attempts``.
-  An exception *raised and shipped back* by the runner is deterministic
-  — rerunning the same seeded simulation reproduces it — and fails the
-  point immediately.  :class:`PointTimeoutError` is treated as
-  transient (wall-clock is about the host, not the config).
+  every not-yet-finished point of the dead worker's chunk — and only
+  those; results already streamed back are kept — is requeued with
+  bounded exponential backoff (non-blocking: the requeued task carries
+  a not-before time) up to ``max_attempts``.  An exception *raised and
+  shipped back* by the runner is deterministic — rerunning the same
+  seeded simulation reproduces it — and fails the point immediately.
+  :class:`PointTimeoutError` is treated as transient (wall-clock is
+  about the host, not the config).
 * **Graceful drain.**  On SIGINT/SIGTERM the supervisor stops
-  dispatching, gives running points ``drain_grace_s`` to finish (their
+  dispatching, gives running chunks ``drain_grace_s`` to finish (their
   results are recorded and cached), then kills the rest and reports
   them abandoned so the engine can journal them as in-flight.  A second
   signal skips the grace period.  Handlers are installed only on the
@@ -40,13 +57,14 @@ cache, metrics, and progress callbacks, all of which run in the parent.
 
 from __future__ import annotations
 
+import pickle
 import signal
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .execution import _execute_point
 
@@ -56,6 +74,7 @@ __all__ = [
     "TRANSIENT_ERRORS",
     "WorkerCrashError",
     "WorkerStallError",
+    "auto_chunk_size",
     "is_transient_error",
 ]
 
@@ -81,18 +100,34 @@ def is_transient_error(error_name: str) -> bool:
     return error_name in TRANSIENT_ERRORS
 
 
+def auto_chunk_size(points: int, jobs: int) -> int:
+    """Default chunk size for a batch of ``points`` over ``jobs`` workers.
+
+    Sized so every worker sees at least ~4 chunks (keeping the retry
+    unit small and the tail balanced) and no chunk exceeds 16 points
+    (bounding the work a single worker death can force back through
+    the requeue path).  Small batches degrade to per-point dispatch.
+    """
+    if points <= 0:
+        return 1
+    return max(1, min(-(-points // (max(1, jobs) * 4)), 16))
+
+
 @dataclass
 class SupervisorHooks:
     """Engine callbacks; every hook runs in the submitting process.
 
     Attributes:
-        on_start: ``(index, attempt)`` — point dispatched to a worker.
+        on_start: ``(index, attempt)`` — point dispatched to a worker
+            (fires once per point at chunk dispatch time).
         on_retry: ``(index, attempt, error_name, message)`` — transient
             failure; the point will be requeued (attempt just consumed).
         on_final: ``(index, status, payload, attempts)`` with status
             ``"ok"``/``"error"``; returns False to abort the campaign.
         on_abandoned: ``(index, reason)`` — point not finished because
             of an abort or an interrupt drain.
+        on_wall: ``(index, wall_s)`` — worker-measured execution wall
+            time for a point, delivered just before its ``on_final``.
     """
 
     on_start: Callable[[int, int], None] = lambda index, attempt: None
@@ -103,6 +138,7 @@ class SupervisorHooks:
         lambda index, status, payload, attempts: True
     )
     on_abandoned: Callable[[int, str], None] = lambda index, reason: None
+    on_wall: Callable[[int, float], None] = lambda index, wall_s: None
 
 
 def _worker_main(
@@ -113,14 +149,23 @@ def _worker_main(
     profile_dir,
     trace_dir,
     heartbeat_s,
+    initializer,
+    initializer_args,
 ) -> None:
-    """Worker loop: receive ``(index, config)``, send results + beats.
+    """Worker loop: receive point chunks, stream results + beats.
 
     SIGINT is ignored — a terminal Ctrl-C signals the whole process
     group, and the *supervisor* decides how the pool drains.  The
     heartbeat thread shares the result pipe under a lock (``Connection``
     is not thread-safe); a broken pipe means the parent is gone and the
     worker exits rather than simulate into the void.
+
+    The optional ``initializer`` runs once before the ready handshake;
+    a failing initializer is reported but not fatal — warming is an
+    optimization, the points must still run.  Chunks arrive as raw
+    pickled bytes (the parent measures what it ships); each point's
+    result is streamed back as it finishes, tagged with the
+    worker-measured wall seconds, followed by a ``chunk_done`` marker.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -144,19 +189,38 @@ def _worker_main(
                 return
 
     threading.Thread(target=beat, daemon=True).start()
+    init_error = ""
+    init_started = time.perf_counter()
+    if initializer is not None:
+        try:
+            initializer(*initializer_args)
+        except Exception as exc:  # noqa: BLE001 - warming is best-effort
+            init_error = f"{type(exc).__name__}: {exc}"
+    init_ms = (time.perf_counter() - init_started) * 1000.0
+    if not send(("ready", init_ms, init_error)):
+        stop.set()
+        return
     try:
         while True:
             try:
-                task = task_conn.recv()
+                payload = task_conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            task = pickle.loads(payload)
             if task is None:
                 break
-            index, config = task
-            outcome = _execute_point(
-                (index, config, runner, timeout_s, profile_dir, trace_dir)
-            )
-            if not send(("result", outcome)):
+            _tag, points = task
+            alive = True
+            for index, config in points:
+                point_started = time.perf_counter()
+                outcome = _execute_point(
+                    (index, config, runner, timeout_s, profile_dir, trace_dir)
+                )
+                wall_s = time.perf_counter() - point_started
+                if not send(("result", outcome, wall_s)):
+                    alive = False
+                    break
+            if not alive or not send(("chunk_done",)):
                 break
     except KeyboardInterrupt:  # pragma: no cover - SIGINT is ignored
         pass
@@ -177,13 +241,17 @@ class _Worker:
     process: object
     task_w: object
     result_r: object
-    task: Optional[_Task] = None
+    #: In-flight chunk points keyed by index; removed as results stream
+    #: back, so on a crash exactly the unfinished remainder is requeued.
+    chunk: Dict[int, _Task] = field(default_factory=dict)
+    spawned_at: float = field(default_factory=time.monotonic)
     started_at: float = 0.0
     last_beat: float = field(default_factory=time.monotonic)
+    ready: bool = False
 
     @property
     def busy(self) -> bool:
-        return self.task is not None
+        return bool(self.chunk)
 
 
 class SupervisedPool:
@@ -193,7 +261,8 @@ class SupervisedPool:
         jobs: worker process count.
         runner: picklable per-config runner (see the engine).
         point_timeout_s: in-worker SIGALRM budget; also (plus
-            ``hang_grace_s``) the supervisor's kill deadline.
+            ``hang_grace_s``) the supervisor's per-point kill deadline
+            (the timer restarts at every streamed result).
         max_attempts: total attempts per point for *transient* failures.
         backoff_base_s / backoff_cap_s: exponential requeue backoff
             (``base * 2**(attempt-1)``, capped), enforced without
@@ -205,8 +274,18 @@ class SupervisedPool:
             can, producing the richer traceback).
         drain_grace_s: how long running points may finish after
             SIGINT/SIGTERM before being killed and abandoned.
+        chunk_size: points per dispatch message; ``None`` (default)
+            auto-sizes with :func:`auto_chunk_size`.
+        initializer / initializer_args: optional picklable callable run
+            once in every worker before its first chunk (e.g. catalog
+            cache warming); failures are recorded, not fatal.
         mp_context: ``multiprocessing`` start-method context (default:
             platform default — fork on Linux).
+
+    After :meth:`run` returns, :attr:`overhead` holds the dispatch
+    accounting for the batch: payload bytes pickled, chunk/point
+    counts, cumulative dispatch seconds, and per-worker startup and
+    initializer milliseconds.
     """
 
     def __init__(
@@ -224,6 +303,9 @@ class SupervisedPool:
         hang_grace_s: float = 5.0,
         drain_grace_s: float = 5.0,
         poll_s: float = 0.05,
+        chunk_size: Optional[int] = None,
+        initializer: Optional[Callable] = None,
+        initializer_args: tuple = (),
         mp_context=None,
         metrics=None,
     ) -> None:
@@ -231,6 +313,8 @@ class SupervisedPool:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
         self.jobs = jobs
         self.runner = runner
         self.point_timeout_s = point_timeout_s
@@ -244,9 +328,14 @@ class SupervisedPool:
         self.hang_grace_s = hang_grace_s
         self.drain_grace_s = drain_grace_s
         self.poll_s = poll_s
+        self.chunk_size = chunk_size
+        self.initializer = initializer
+        self.initializer_args = initializer_args
         self.ctx = mp_context if mp_context is not None else get_context()
         self.metrics = metrics
         self._interrupts = 0
+        #: Dispatch/startup accounting of the most recent :meth:`run`.
+        self.overhead: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def _inc(self, name: str, by: int = 1) -> None:
@@ -266,6 +355,8 @@ class SupervisedPool:
                 self.profile_dir,
                 self.trace_dir,
                 self.heartbeat_s,
+                self.initializer,
+                self.initializer_args,
             ),
             daemon=True,
         )
@@ -328,10 +419,28 @@ class SupervisedPool:
             _Task(index=index, config=config, attempts=attempts)
             for index, config, attempts in points
         )
+        startup_ms: List[float] = []
+        initializer_ms: List[float] = []
+        self.overhead = {
+            "chunk_size": 0,
+            "chunks_dispatched": 0,
+            "points_dispatched": 0,
+            "payload_bytes": 0,
+            "dispatch_s": 0.0,
+            "worker_startup_ms": startup_ms,
+            "worker_initializer_ms": initializer_ms,
+        }
         if not ready:
             return
+        chunk_size = (
+            self.chunk_size
+            if self.chunk_size is not None
+            else auto_chunk_size(len(ready), self.jobs)
+        )
+        self.overhead["chunk_size"] = chunk_size
         workers: List[_Worker] = [
-            self._spawn() for _ in range(min(self.jobs, len(ready)))
+            self._spawn()
+            for _ in range(min(self.jobs, -(-len(ready) // chunk_size)))
         ]
         remaining = len(ready)
         aborting = False
@@ -384,6 +493,63 @@ class SupervisedPool:
             else:
                 finish(task, "error", (error, message, ""))
 
+        def take_chunk(now: float) -> List[_Task]:
+            """Pop up to ``chunk_size`` backoff-eligible tasks."""
+            taken: List[_Task] = []
+            for _ in range(len(ready)):
+                if len(taken) >= chunk_size or not ready:
+                    break
+                candidate = ready.popleft()
+                if candidate.not_before <= now:
+                    taken.append(candidate)
+                else:
+                    ready.append(candidate)
+            return taken
+
+        def handle_message(worker: _Worker, message) -> None:
+            worker.last_beat = time.monotonic()
+            tag = message[0]
+            if tag == "result":
+                _tag, outcome, wall_s = message
+                index, status, payload = outcome
+                task = worker.chunk.pop(index, None)
+                # Restart the per-point deadline: the worker has
+                # moved on to the chunk's next point.
+                worker.started_at = worker.last_beat
+                if task is None:
+                    # Should not happen; treat as untracked final.
+                    return  # pragma: no cover - defensive
+                hooks.on_wall(index, wall_s)
+                if status == "ok":
+                    finish(task, "ok", payload)
+                else:
+                    settle_failure(task, payload[0], payload[1])
+            elif tag == "ready" and not worker.ready:
+                worker.ready = True
+                startup_ms.append(
+                    (worker.last_beat - worker.spawned_at) * 1000.0
+                )
+                initializer_ms.append(message[1])
+                if message[2]:
+                    self._inc("campaign.workers.init_errors")
+
+        def drain_buffered(worker: _Worker) -> None:
+            """Consume every message already sitting in the result pipe.
+
+            Results a worker streamed before dying can be buffered
+            behind heartbeats; they are finished work and must be
+            settled before the crash handler requeues the chunk's
+            remainder — otherwise a completed point would run twice.
+            """
+            while True:
+                try:
+                    if not worker.result_r.poll():
+                        return
+                    message = worker.result_r.recv()
+                except (EOFError, OSError):
+                    return
+                handle_message(worker, message)
+
         try:
             while remaining > 0:
                 now = time.monotonic()
@@ -400,36 +566,53 @@ class SupervisedPool:
                 if aborting or force_stop:
                     break
 
-                # Dispatch: at most one task per idle worker, and only
-                # tasks whose backoff gate has passed.
+                # Dispatch: at most one chunk per idle worker, and only
+                # tasks whose backoff gate has passed.  The chunk is
+                # pickled once here so shared sub-configs serialize
+                # once (pickle memo) and the shipped bytes are counted.
                 if not draining:
                     for worker in workers:
                         if not ready:
                             break
                         if worker.busy or not worker.process.is_alive():
                             continue
-                        gated = None
-                        for _ in range(len(ready)):
-                            candidate = ready.popleft()
-                            if candidate.not_before <= now:
-                                gated = candidate
-                                break
-                            ready.append(candidate)
-                        if gated is None:
+                        chunk = take_chunk(now)
+                        if not chunk:
                             break
-                        gated.attempts += 1
+                        for task in chunk:
+                            task.attempts += 1
+                        dispatch_started = time.perf_counter()
+                        payload = pickle.dumps(
+                            (
+                                "chunk",
+                                [(task.index, task.config) for task in chunk],
+                            ),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
                         try:
-                            worker.task_w.send((gated.index, gated.config))
+                            worker.task_w.send_bytes(payload)
                         except (BrokenPipeError, OSError):
                             # Worker died before dispatch; requeue the
-                            # attempt and let liveness handling respawn.
-                            gated.attempts -= 1
-                            ready.appendleft(gated)
+                            # attempts and let liveness handling respawn.
+                            for task in chunk:
+                                task.attempts -= 1
+                            ready.extendleft(reversed(chunk))
                             continue
-                        worker.task = gated
+                        self.overhead["dispatch_s"] += (
+                            time.perf_counter() - dispatch_started
+                        )
+                        self.overhead["chunks_dispatched"] += 1
+                        self.overhead["points_dispatched"] += len(chunk)
+                        self.overhead["payload_bytes"] += len(payload)
+                        self._inc("campaign.chunks.dispatched")
+                        self._inc(
+                            "campaign.dispatch.payload_bytes", len(payload)
+                        )
+                        worker.chunk = {task.index: task for task in chunk}
                         worker.started_at = now
                         worker.last_beat = now
-                        hooks.on_start(gated.index, gated.attempts)
+                        for task in chunk:
+                            hooks.on_start(task.index, task.attempts)
 
                 if draining and not any(worker.busy for worker in workers):
                     break
@@ -456,19 +639,10 @@ class SupervisedPool:
                         # the liveness scan below, which classifies it.
                         worker.process.join(timeout=0.1)
                         continue
-                    worker.last_beat = time.monotonic()
-                    if message[0] == "result":
-                        _tag, outcome = message
-                        index, status, payload = outcome
-                        task = worker.task
-                        worker.task = None
-                        if task is None or task.index != index:
-                            # Should not happen; treat as untracked final.
-                            continue  # pragma: no cover - defensive
-                        if status == "ok":
-                            finish(task, "ok", payload)
-                        else:
-                            settle_failure(task, payload[0], payload[1])
+                    handle_message(worker, message)
+                    # Consume the backlog too: a chunk's results can
+                    # queue up faster than one recv per loop turn.
+                    drain_buffered(worker)
 
                 # Liveness + deadline scan.
                 for position, worker in enumerate(workers):
@@ -490,10 +664,14 @@ class SupervisedPool:
                             reason = ("WorkerStallError", why)
                             self._inc("campaign.workers.killed")
                     if crashed:
-                        task = worker.task
-                        worker.task = None
-                        if task is not None:
-                            settle_failure(task, *reason)
+                        # Settle anything the worker streamed back before
+                        # dying, then requeue exactly the unfinished
+                        # remainder of the chunk.
+                        drain_buffered(worker)
+                        chunk_tasks = worker.chunk
+                        worker.chunk = {}
+                        for index in sorted(chunk_tasks):
+                            settle_failure(chunk_tasks[index], *reason)
                         if remaining > 0 and not draining and not aborting:
                             workers[position] = self._spawn()
                             self._inc("campaign.workers.respawned")
@@ -505,11 +683,10 @@ class SupervisedPool:
                     "campaign aborted" if aborting else "interrupted"
                 )
                 for worker in workers:
-                    if worker.busy:
-                        task = worker.task
-                        worker.task = None
-                        hooks.on_abandoned(task.index, abandoned_reason)
+                    for index in sorted(worker.chunk):
+                        hooks.on_abandoned(index, abandoned_reason)
                         remaining -= 1
+                    worker.chunk = {}
                 while ready:
                     task = ready.popleft()
                     hooks.on_abandoned(task.index, abandoned_reason)

@@ -9,7 +9,12 @@ from .cost import (
     sweep_cost,
 )
 from .dynamic import DynamicScheduler
-from .envelope import EnvelopeComputer, EnvelopeScheduler, EnvelopeState
+from .envelope import (
+    EnvelopeComputer,
+    EnvelopeIndex,
+    EnvelopeScheduler,
+    EnvelopeState,
+)
 from .fifo import FifoScheduler
 from .pending import PendingList
 from .policies import (
@@ -30,6 +35,7 @@ from .sweep import ServiceEntry, ServiceList, SweepPhase
 __all__ = [
     "DynamicScheduler",
     "EnvelopeComputer",
+    "EnvelopeIndex",
     "EnvelopeScheduler",
     "EnvelopeState",
     "ExtensionCostTracker",

@@ -11,7 +11,7 @@ with what the simulated hardware will actually do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..tape.timing import DriveTimingModel
 
@@ -125,6 +125,82 @@ def effective_bandwidth(
     if seconds <= 0:
         return float("inf")
     return len(positions) * block_mb * MB / seconds
+
+
+@dataclass(frozen=True)
+class ExtensionConstants:
+    """Flattened timing constants for the envelope extension inner loop.
+
+    The envelope scheduler's step-3 search evaluates an incremental
+    bandwidth for *every* candidate prefix length on every tape; going
+    through :class:`ExtensionCostTracker` costs three method calls plus
+    memo-dict lookups per length.  For the plain piecewise-linear
+    :class:`~repro.tape.timing.DriveTimingModel` those calls reduce to
+    straight-line arithmetic over a handful of constants.  This bundle
+    hoists them once so the search loop can run call-free.
+
+    Every float here is produced by the timing model's own methods, and
+    the consumer applies them with the exact expressions the tracker's
+    ``locate_forward``/``locate_reverse``/``read`` calls would have
+    evaluated, so the resulting bandwidths are bit-identical.  Only
+    exact :class:`DriveTimingModel` instances qualify (a subclass may
+    override the locate arithmetic): callers must check
+    :func:`extension_constants` for ``None`` and fall back to the
+    tracker.
+    """
+
+    short_threshold_mb: float
+    forward_short_startup: float
+    forward_short_rate: float
+    forward_long_startup: float
+    forward_long_rate: float
+    reverse_short_startup: float
+    reverse_short_rate: float
+    reverse_long_startup: float
+    reverse_long_rate: float
+    bot_overhead_s: float
+    read_plain_s: float
+    read_startup_s: float
+    switch_s: float
+
+
+_EXTENSION_CONSTANTS: Dict[Tuple[DriveTimingModel, float], ExtensionConstants] = {}
+
+
+def extension_constants(
+    timing: DriveTimingModel, block_mb: float
+) -> Optional[ExtensionConstants]:
+    """The flattened constants for ``timing``, or ``None`` if ineligible.
+
+    Eligibility is an exact-type check: subclasses of
+    :class:`DriveTimingModel` (e.g. serpentine models) may override the
+    locate arithmetic, so they keep the tracker-based slow path.
+    Results are cached per ``(timing, block_mb)`` (the model is a
+    frozen, hashable dataclass; equal models share equal constants).
+    """
+    if type(timing) is not DriveTimingModel:
+        return None
+    key = (timing, block_mb)
+    cached = _EXTENSION_CONSTANTS.get(key)
+    if cached is None:
+        if len(_EXTENSION_CONSTANTS) >= 256:
+            _EXTENSION_CONSTANTS.clear()
+        cached = _EXTENSION_CONSTANTS[key] = ExtensionConstants(
+            short_threshold_mb=timing.short_threshold_mb,
+            forward_short_startup=timing.forward_short.startup,
+            forward_short_rate=timing.forward_short.rate,
+            forward_long_startup=timing.forward_long.startup,
+            forward_long_rate=timing.forward_long.rate,
+            reverse_short_startup=timing.reverse_short.startup,
+            reverse_short_rate=timing.reverse_short.rate,
+            reverse_long_startup=timing.reverse_long.startup,
+            reverse_long_rate=timing.reverse_long.rate,
+            bot_overhead_s=timing.bot_overhead_s,
+            read_plain_s=timing.read(block_mb, startup=False),
+            read_startup_s=timing.read(block_mb, startup=True),
+            switch_s=timing.switch(),
+        )
+    return cached
 
 
 class ExtensionCostTracker:
