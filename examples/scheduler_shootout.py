@@ -2,7 +2,8 @@
 """Trace-driven shoot-out: every scheduler on the *same* request stream.
 
 Records one closed-queueing workload trace, then replays the identical
-block sequence under all fourteen scheduling algorithms and ranks them.
+block sequence under all seventeen scheduling algorithms (the paper's
+fourteen plus the LTSP baselines) and ranks them.
 Replaying a fixed trace removes workload randomness from the
 comparison — differences in the table are purely algorithmic, which is
 how the paper's parametric graphs should be read.

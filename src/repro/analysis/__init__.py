@@ -19,9 +19,33 @@ from .costperf import (
     effective_queue_length,
     expansion_table,
 )
+from .gap import (
+    APPROX_POLICIES,
+    DEFAULT_BASELINE,
+    GAP_HORIZON_S,
+    GapCell,
+    GapReport,
+    GapRow,
+    GapScenario,
+    PAPER_HEURISTICS,
+    compute_gap,
+    gap_configs,
+    gap_scenarios,
+)
 
 __all__ = [
+    "APPROX_POLICIES",
+    "DEFAULT_BASELINE",
+    "GAP_HORIZON_S",
+    "GapCell",
+    "GapReport",
+    "GapRow",
+    "GapScenario",
+    "PAPER_HEURISTICS",
     "SweepEstimate",
+    "compute_gap",
+    "gap_configs",
+    "gap_scenarios",
     "cost_performance_curve",
     "estimate_closed_throughput",
     "estimate_sweep",

@@ -260,6 +260,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--plot", action="store_true", help="append an ASCII throughput/delay plot"
     )
 
+    gap_parser = subparsers.add_parser(
+        "gap",
+        help="measure each heuristic's optimality gap vs the exact baseline",
+        parents=[campaign_parent],
+    )
+    gap_parser.add_argument(
+        "--horizon", type=float, default=None, metavar="S",
+        help="simulated seconds per scenario (default: 200000)",
+    )
+    gap_parser.add_argument(
+        "--queues", default="20,60,100", metavar="N,N,...",
+        help="closed-queue lengths for the queue-sweep scenarios",
+    )
+    gap_parser.add_argument(
+        "--schedulers", default=None, metavar="NAME,...",
+        help="schedulers to measure (default: the paper's four families; "
+        "'all' adds the LTSP approximation policies)",
+    )
+    gap_parser.add_argument(
+        "--baseline", default=None, metavar="NAME",
+        help="baseline scheduler ratios are measured against "
+        "(default: exact-batch)",
+    )
+    gap_parser.add_argument(
+        "--scenarios", default=None, metavar="KEY,...",
+        help="restrict to these scenario keys (default: the full matrix)",
+    )
+    gap_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of a table",
+    )
+
     run_parser = subparsers.add_parser(
         "run", help="run a single experiment", parents=[campaign_parent]
     )
@@ -566,6 +598,76 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .report.plot import plot_throughput_delay
 
             print(plot_throughput_delay(data))
+        return _campaign_epilogue(campaign, args)
+
+    if args.command == "gap":
+        from .analysis.gap import (
+            APPROX_POLICIES,
+            DEFAULT_BASELINE,
+            GAP_HORIZON_S,
+            PAPER_HEURISTICS,
+            compute_gap,
+            gap_scenarios,
+        )
+        from .campaign import CampaignPointError
+        from .report.text import format_gap_report
+
+        campaign = _campaign_from_args(args)
+        horizon_s = args.horizon if args.horizon is not None else GAP_HORIZON_S
+        queue_lengths = [int(piece) for piece in args.queues.split(",") if piece]
+        scenarios = list(gap_scenarios(horizon_s, queue_lengths))
+        if args.scenarios:
+            wanted = [piece for piece in args.scenarios.split(",") if piece]
+            known = {scenario.key: scenario for scenario in scenarios}
+            unknown = [key for key in wanted if key not in known]
+            if unknown:
+                raise SystemExit(
+                    f"gap: unknown scenario(s) {', '.join(unknown)}; "
+                    f"known: {', '.join(known)}"
+                )
+            scenarios = [known[key] for key in wanted]
+        if args.schedulers is None:
+            schedulers = None
+        elif args.schedulers == "all":
+            schedulers = PAPER_HEURISTICS + APPROX_POLICIES
+        else:
+            schedulers = tuple(
+                piece for piece in args.schedulers.split(",") if piece
+            )
+        baseline = args.baseline or DEFAULT_BASELINE
+        try:
+            report = compute_gap(
+                scenarios=scenarios,
+                schedulers=schedulers,
+                baseline=baseline,
+                campaign=campaign,
+            )
+        except KeyboardInterrupt:
+            return _interrupted_exit(campaign)
+        except CampaignPointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return _campaign_epilogue(campaign, args, error=error) or 1
+        if args.json:
+            import json
+
+            payload = {
+                "baseline": report.baseline,
+                "horizon_s": horizon_s,
+                "rows": [
+                    {
+                        "scenario": row.scenario.key,
+                        "description": row.scenario.description,
+                        "baseline_mean_s": row.baseline_mean_s,
+                        "ratios": {
+                            cell.scheduler: cell.ratio for cell in row.cells
+                        },
+                    }
+                    for row in report.rows
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_gap_report(report))
         return _campaign_epilogue(campaign, args)
 
     if args.command == "lifecycle":

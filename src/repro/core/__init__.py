@@ -9,6 +9,20 @@ from .cost import (
     sweep_cost,
 )
 from .dynamic import DynamicScheduler
+from .exact import (
+    BatchPlan,
+    BestPassScheduler,
+    DEFAULT_NODE_BUDGET,
+    ExactBatchScheduler,
+    GreedyCostScheduler,
+    OrderedServiceList,
+    best_pass_order,
+    greedy_cost_order,
+    optimal_order,
+    order_cost,
+    reverse_first_order,
+    sweep_order,
+)
 from .envelope import (
     EnvelopeComputer,
     EnvelopeIndex,
@@ -33,7 +47,13 @@ from .static_ import StaticScheduler
 from .sweep import ServiceEntry, ServiceList, SweepPhase
 
 __all__ = [
+    "BatchPlan",
+    "BestPassScheduler",
+    "DEFAULT_NODE_BUDGET",
     "DynamicScheduler",
+    "ExactBatchScheduler",
+    "GreedyCostScheduler",
+    "OrderedServiceList",
     "EnvelopeComputer",
     "EnvelopeIndex",
     "EnvelopeScheduler",
@@ -57,11 +77,17 @@ __all__ = [
     "SweepCost",
     "SweepPhase",
     "TapeSelectionPolicy",
+    "best_pass_order",
     "coalesce_entries",
     "effective_bandwidth",
+    "greedy_cost_order",
     "jukebox_order",
     "make_scheduler",
+    "optimal_order",
+    "order_cost",
+    "reverse_first_order",
     "scheduler_names",
     "schedule_time",
     "sweep_cost",
+    "sweep_order",
 ]

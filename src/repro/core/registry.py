@@ -7,6 +7,8 @@ Names follow ``<family>-<policy>``:
   oldest-max-bandwidth}``
 * ``dynamic-{...same five...}``
 * ``envelope-{oldest-max-requests,max-requests,max-bandwidth}``
+* ``exact-batch`` (the LTSP optimality baseline) and
+  ``approx-{greedy-cost,best-pass}`` (see :mod:`repro.core.exact`)
 
 Schedulers carry per-sweep state, so every lookup returns a new instance.
 """
@@ -18,6 +20,7 @@ from typing import Callable, Dict, List
 from .base import Scheduler
 from .dynamic import DynamicScheduler
 from .envelope import EnvelopeScheduler
+from .exact import BestPassScheduler, ExactBatchScheduler, GreedyCostScheduler
 from .fifo import FifoScheduler
 from .policies import (
     MaxBandwidth,
@@ -53,6 +56,9 @@ def _build_registry() -> Dict[str, Callable[[], Scheduler]]:
         registry[f"envelope-{policy_name}"] = (
             lambda factory=policy_factory: EnvelopeScheduler(factory())
         )
+    registry["exact-batch"] = ExactBatchScheduler
+    registry["approx-greedy-cost"] = GreedyCostScheduler
+    registry["approx-best-pass"] = BestPassScheduler
     return registry
 
 

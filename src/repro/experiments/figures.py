@@ -469,10 +469,47 @@ def figure_fed_nr(
     return data
 
 
+def figure_gap(
+    horizon_s: float = 200_000.0,
+    queue_lengths: Sequence[int] = (20, 60, 100),
+    campaign=None,
+) -> FigureData:
+    """Optimality gap: every heuristic vs the exact LTSP baseline.
+
+    Not a paper figure — the paper never measures distance from
+    optimal.  Each series is one scheduler's gap ratio (mean response
+    over the ``exact-batch`` baseline's) across the scenario matrix of
+    :func:`repro.analysis.gap.gap_scenarios`; 1.0 is optimal, and the
+    paper's four heuristic families sit at or above it everywhere.
+    The envelope series has no point at the multidrive scenario
+    (multi-drive service excludes extension scheduling).
+    """
+    from ..analysis.gap import compute_gap, gap_scenarios
+
+    scenarios = gap_scenarios(horizon_s=horizon_s, queue_lengths=queue_lengths)
+    report = compute_gap(scenarios=scenarios, campaign=campaign)
+    data = FigureData(
+        figure="gap",
+        title="Optimality Gap vs Exact LTSP Baseline",
+        annotation="x = scenario: " + ", ".join(
+            f"{index}={row.scenario.key}" for index, row in enumerate(report.rows)
+        ),
+    )
+    for scheduler in report.schedulers:
+        data.series[scheduler] = [
+            (index, row.cell(scheduler).ratio)
+            for index, row in enumerate(report.rows)
+            if row.cell(scheduler) is not None
+        ]
+    return data
+
+
 #: Registry used by the CLI: figure id -> generator function.
 #: Every generator accepts ``campaign=`` (10a ignores it — analytic).
 #: ``fed-nr`` goes beyond the paper: the fleet-level NR sweep of
-#: :mod:`repro.federation` (see docs/FEDERATION.md).
+#: :mod:`repro.federation` (see docs/FEDERATION.md).  ``gap`` goes
+#: beyond it too: the optimality-gap matrix of :mod:`repro.analysis.gap`
+#: (see docs/SCHEDULERS.md).
 FIGURES = {
     "3": figure3,
     "4": figure4,
@@ -484,4 +521,5 @@ FIGURES = {
     "10a": figure10a,
     "10b": figure10b,
     "fed-nr": figure_fed_nr,
+    "gap": figure_gap,
 }

@@ -4,7 +4,7 @@ The two-level design follows the global→local scheduler split used by
 LLM-serving simulators (vidur's ``BaseGlobalScheduler``, Helix's
 ``GlobalFlowScheduler``): a policy object at the fleet tier picks one
 library per request from the block's holder set, and the chosen
-library's *local* scheduler (any of the paper's fourteen, via
+library's *local* scheduler (any registered locally, via
 :mod:`repro.core.registry`) orders the physical tape work.
 
 Policies are deliberately cheap and deterministic: they see only the

@@ -2,7 +2,12 @@
 
 from .export import curve_to_csv, figure_to_csv, figure_to_markdown
 from .plot import ascii_scatter, plot_throughput_delay
-from .text import format_figure, format_parametric_series, format_table
+from .text import (
+    format_figure,
+    format_gap_report,
+    format_parametric_series,
+    format_table,
+)
 
 __all__ = [
     "ascii_scatter",
@@ -10,6 +15,7 @@ __all__ = [
     "figure_to_csv",
     "figure_to_markdown",
     "format_figure",
+    "format_gap_report",
     "format_parametric_series",
     "format_table",
     "plot_throughput_delay",

@@ -83,6 +83,33 @@ def format_slo_report(report) -> str:
     return format_table(("slo metric", "value"), rows)
 
 
+def format_gap_report(report) -> str:
+    """Render a :class:`~repro.analysis.gap.GapReport` as a ratio table.
+
+    One row per scenario: the exact baseline's mean response time, then
+    each scheduler's gap ratio (its mean response over the baseline's).
+    1.0000 is optimal; a dash marks a scheduler excluded from that
+    scenario (envelope under multidrive).
+    """
+    headers = ["scenario", f"{report.baseline} (s)"] + list(report.schedulers)
+    rows = []
+    for row in report.rows:
+        cells: list = [row.scenario.key, f"{row.baseline_mean_s:.1f}"]
+        for scheduler in report.schedulers:
+            cell = row.cell(scheduler)
+            cells.append("-" if cell is None else f"{cell.ratio:.4f}")
+        rows.append(cells)
+    table = format_table(headers, rows)
+    legend = "\n".join(
+        f"  {row.scenario.key}: {row.scenario.description}" for row in report.rows
+    )
+    return (
+        f"Optimality gap vs {report.baseline}"
+        " (ratio = mean response / baseline mean response; 1.0 = optimal)\n"
+        f"{table}\nscenarios:\n{legend}"
+    )
+
+
 def format_figure(figure_data) -> str:
     """Render a whole :class:`FigureData` for terminal output."""
     lines = [

@@ -215,6 +215,7 @@ class MultiDriveSimulator:
                 catalog=scheduler_catalog,
                 pending=filtered,
                 masked_tapes=masked_tapes,
+                drive_count=drive_count,
             )
             self.drives.append(drive)
             self.schedulers.append(scheduler)

@@ -161,7 +161,9 @@ class TestRegistry:
         assert sum(name.startswith("static-") for name in names) == 5
         assert sum(name.startswith("dynamic-") for name in names) == 5
         assert sum(name.startswith("envelope-") for name in names) == 3
-        assert len(names) == 14
+        assert "exact-batch" in names
+        assert sum(name.startswith("approx-") for name in names) == 2
+        assert len(names) == 17
 
     def test_unknown_name_raises(self):
         from repro.core import make_scheduler

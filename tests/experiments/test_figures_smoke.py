@@ -107,7 +107,7 @@ class TestFigureFedNr:
 class TestRegistry:
     def test_every_figure_is_registered(self):
         assert set(FIGURES) == {
-            "3", "4", "5", "6", "7", "8", "9", "10a", "10b", "fed-nr",
+            "3", "4", "5", "6", "7", "8", "9", "10a", "10b", "fed-nr", "gap",
         }
 
 

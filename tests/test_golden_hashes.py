@@ -78,6 +78,9 @@ CASES = {
     "fig4_multidrive": FIG4.with_(
         drive_count=2, tape_count=8, capacity_mb=2000.0
     ),
+    "fig4_exact_batch": FIG4.with_(scheduler="exact-batch"),
+    "fig4_approx_greedy_cost": FIG4.with_(scheduler="approx-greedy-cost"),
+    "fig4_approx_best_pass": FIG4.with_(scheduler="approx-best-pass"),
 }
 
 #: sha256 of each case's report, pinned on the pre-optimization tree.
@@ -93,6 +96,10 @@ GOLDEN = {
     "fig4_dynamic_faults_qos": "8621fbb9b16a0c5db1dc251569528820938ed3acf11eba0095a7081c3e191ecc",
     "fig4_serpentine": "01df9667ce284d938428e74e3e527dac948ffd9f165656cb6ecfe68028b62d9c",
     "fig4_multidrive": "6deffd19af91d1e7fc04ec988e6d8208ee511affc842b78bd586c018ea7ae7aa",
+    # LTSP optimality-baseline families, pinned at their introduction.
+    "fig4_exact_batch": "c149b3b26b387e8923931e3bb06d504fff6fa15a83de5abcb47aa8a165b56b3a",
+    "fig4_approx_greedy_cost": "bac0e5590567174a28530f5a53fb0ddc6c1c926b861de0cc5012757d5dedf8cd",
+    "fig4_approx_best_pass": "80024f04ff6ad040a441230f5509d2a6bd186a1c94a433223a229802f54b483b",
 }
 
 
